@@ -1,0 +1,36 @@
+"""Shared fixtures for the figure benchmarks.
+
+Every benchmark regenerates one figure of the paper's evaluation at
+bench scale, asserts the paper's qualitative shape, and appends the
+rendered paper-style table to ``benchmarks/results.txt`` so a
+``pytest benchmarks/ --benchmark-only`` run leaves the full set of
+series on disk.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.base import ExperimentScale
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results.txt"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    """The sizing every figure benchmark runs at."""
+    return ExperimentScale.bench()
+
+
+@pytest.fixture(scope="session")
+def results_sink():
+    """Append rendered tables to the session's results file."""
+    RESULTS_PATH.write_text("")
+
+    def sink(text: str) -> None:
+        with RESULTS_PATH.open("a") as handle:
+            handle.write(text + "\n\n")
+
+    return sink

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Fig. 10 (fluctuating rates and extreme skew)."""
+
+from repro.experiments import fig10
+
+
+def test_bench_fig10(benchmark, bench_scale, results_sink):
+    """Asserts ApproxIoT's win in every setting and under extreme skew."""
+    text = benchmark.pedantic(
+        fig10.main, args=(bench_scale,), rounds=1, iterations=1
+    )
+    results_sink(text)
+
+    for distribution in ("gaussian", "poisson"):
+        for point in fig10.run_fig10_settings(distribution, bench_scale):
+            assert point.approxiot_loss < point.srs_loss, point.setting
+
+    skew = fig10.run_fig10_skew([0.1], bench_scale)[0]
+    # Paper: up to 2600x at the 10% fraction; require >= two orders.
+    assert skew.srs_loss > 100 * skew.approxiot_loss
+    assert skew.approxiot_loss < 0.5

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Fig. 9 (latency vs window size)."""
+
+from repro.experiments import fig9
+
+
+def test_bench_fig9(benchmark, bench_scale, results_sink):
+    """Asserts ApproxIoT latency grows with the window while SRS is flat."""
+    text = benchmark.pedantic(
+        fig9.main, args=(bench_scale,), rounds=1, iterations=1
+    )
+    results_sink(text)
+
+    points = fig9.run_fig9([0.5, 4.0], bench_scale)
+    small, large = points
+    assert large.approxiot / small.approxiot > 3.0
+    assert large.srs / small.srs < 1.6

@@ -1,0 +1,51 @@
+"""ApproxIoT reproduction: approximate analytics for edge computing.
+
+A from-scratch Python implementation of the system described in
+*ApproxIoT: Approximate Analytics for Edge Computing* (Wen et al.,
+ICDCS 2018), including the weighted hierarchical sampling algorithm,
+a Kafka-model pub/sub substrate, a Kafka-Streams-model processing
+engine, a discrete-event WAN simulator, the paper's logical tree
+topology, workload generators, and the full experiment harness.
+
+Quickstart::
+
+    from repro.system import ApproxIoTPipeline, PipelineConfig
+    from repro.workloads import GaussianSubstream
+
+See ``examples/quickstart.py`` for a runnable version.
+"""
+
+from repro.core import (
+    ApproximateResult,
+    CoinFlipSampler,
+    FractionBudget,
+    QueryResult,
+    ReservoirSampler,
+    RootNode,
+    SamplingNode,
+    StreamItem,
+    ThetaStore,
+    WeightMap,
+    WeightedBatch,
+    WeightedHierarchicalSampler,
+    whsamp,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ApproximateResult",
+    "CoinFlipSampler",
+    "FractionBudget",
+    "QueryResult",
+    "ReservoirSampler",
+    "RootNode",
+    "SamplingNode",
+    "StreamItem",
+    "ThetaStore",
+    "WeightMap",
+    "WeightedBatch",
+    "WeightedHierarchicalSampler",
+    "__version__",
+    "whsamp",
+]

@@ -1,0 +1,38 @@
+"""In-memory Kafka-model pub/sub substrate.
+
+The paper's prototype pipelines sampled sub-streams between edge layers
+through Apache Kafka topics. This subpackage provides the equivalent
+abstractions — append-only partition logs, topics, a broker with
+consumer-group coordination, buffering producers, polling consumers,
+and a multi-broker cluster with leadership failover — implemented from
+scratch so the reproduction has no external dependencies.
+"""
+
+from repro.broker.broker import Broker, GroupState
+from repro.broker.cluster import BrokerCluster
+from repro.broker.consumer import Consumer
+from repro.broker.log import PartitionLog
+from repro.broker.producer import Producer
+from repro.broker.records import (
+    JSON_SERDE,
+    PICKLE_SERDE,
+    ConsumedRecord,
+    Record,
+    Serde,
+)
+from repro.broker.topic import Topic
+
+__all__ = [
+    "Broker",
+    "BrokerCluster",
+    "ConsumedRecord",
+    "Consumer",
+    "GroupState",
+    "JSON_SERDE",
+    "PICKLE_SERDE",
+    "PartitionLog",
+    "Producer",
+    "Record",
+    "Serde",
+    "Topic",
+]

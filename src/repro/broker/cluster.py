@@ -1,0 +1,120 @@
+"""Multi-broker cluster with partition leadership and failover.
+
+The paper runs its inter-layer topics on a 10-node Kafka cluster. For
+fault-injection tests we model the cluster layer explicitly: each
+topic-partition has a leader broker and a replica set; producing and
+fetching route to the leader; killing a broker promotes the next
+in-sync replica. Data is logically shared (this is a single-process
+simulation), so failover is about *availability routing*, which is the
+property the tests exercise.
+"""
+
+from __future__ import annotations
+
+from repro.broker.broker import Broker
+from repro.errors import BrokerError, ConfigurationError, UnknownTopicError
+
+__all__ = ["BrokerCluster"]
+
+
+class BrokerCluster:
+    """A set of brokers sharing topic metadata with leader routing."""
+
+    def __init__(self, broker_count: int = 3, replication_factor: int = 2) -> None:
+        if broker_count <= 0:
+            raise ConfigurationError(
+                f"cluster needs >= 1 broker, got {broker_count}"
+            )
+        if not 1 <= replication_factor <= broker_count:
+            raise ConfigurationError(
+                "replication factor must be in [1, broker_count], got "
+                f"{replication_factor} with {broker_count} brokers"
+            )
+        self._brokers = {
+            f"broker-{i}": Broker(f"broker-{i}") for i in range(broker_count)
+        }
+        self._alive = {broker_id: True for broker_id in self._brokers}
+        self._replication = replication_factor
+        # (topic, partition) -> ordered replica list; index 0 is leader.
+        self._replicas: dict[tuple[str, int], list[str]] = {}
+        # The shared logical data plane.
+        self._data = Broker("cluster-data")
+
+    @property
+    def broker_ids(self) -> list[str]:
+        """All broker ids, alive or not."""
+        return sorted(self._brokers)
+
+    @property
+    def alive_brokers(self) -> list[str]:
+        """Ids of brokers currently up."""
+        return sorted(b for b, up in self._alive.items() if up)
+
+    def create_topic(self, name: str, partitions: int = 1) -> None:
+        """Create a topic and spread partition leadership round-robin."""
+        self._data.create_topic(name, partitions)
+        brokers = self.alive_brokers
+        if not brokers:
+            raise BrokerError("no alive brokers to host the topic")
+        for partition in range(partitions):
+            replicas = [
+                brokers[(partition + offset) % len(brokers)]
+                for offset in range(min(self._replication, len(brokers)))
+            ]
+            self._replicas[(name, partition)] = replicas
+
+    def leader(self, topic: str, partition: int) -> str:
+        """The broker currently leading a partition."""
+        try:
+            replicas = self._replicas[(topic, partition)]
+        except KeyError:
+            raise UnknownTopicError(
+                f"no such topic-partition: {topic}-{partition}"
+            ) from None
+        for broker_id in replicas:
+            if self._alive[broker_id]:
+                return broker_id
+        raise BrokerError(
+            f"no alive replica for {topic}-{partition} (replicas: {replicas})"
+        )
+
+    def replicas(self, topic: str, partition: int) -> list[str]:
+        """The replica set of a partition (leader first)."""
+        try:
+            return list(self._replicas[(topic, partition)])
+        except KeyError:
+            raise UnknownTopicError(
+                f"no such topic-partition: {topic}-{partition}"
+            ) from None
+
+    def kill_broker(self, broker_id: str) -> None:
+        """Take a broker down; its partitions fail over to replicas."""
+        if broker_id not in self._brokers:
+            raise BrokerError(f"no such broker: {broker_id!r}")
+        self._alive[broker_id] = False
+
+    def restart_broker(self, broker_id: str) -> None:
+        """Bring a broker back up (it rejoins as a follower)."""
+        if broker_id not in self._brokers:
+            raise BrokerError(f"no such broker: {broker_id!r}")
+        self._alive[broker_id] = True
+
+    @property
+    def data_plane(self) -> Broker:
+        """The shared logical broker carrying all topic data.
+
+        Produce/fetch must go through :meth:`route` so leadership is
+        enforced; the data plane is exposed for consumers/producers
+        that were already routed.
+        """
+        return self._data
+
+    def route(self, topic: str, partition: int) -> Broker:
+        """Resolve the leader and return the data plane if it is alive.
+
+        Raises :class:`BrokerError` when no replica of the partition is
+        alive — the cluster is unavailable for that partition, which is
+        what a real producer would surface as a timeout.
+        """
+        self.leader(topic, partition)  # raises if nothing alive
+        return self._data

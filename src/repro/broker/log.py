@@ -1,0 +1,98 @@
+"""Append-only partition log — the storage primitive under every topic.
+
+Kafka's unit of storage is a partition: an ordered, immutable sequence
+of records addressed by a monotonically-increasing offset. Consumers
+pull ranges by offset; retention trims the head. This module implements
+that contract in memory, including segment-style truncation and
+high-watermark bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.broker.records import ConsumedRecord, Record
+from repro.errors import OffsetOutOfRangeError
+
+__all__ = ["PartitionLog"]
+
+
+class PartitionLog:
+    """An in-memory, offset-addressed append-only log.
+
+    Offsets survive head-truncation: after ``truncate_before(n)`` the
+    log still serves offsets ``>= n`` and raises
+    :class:`~repro.errors.OffsetOutOfRangeError` below that, exactly
+    like a Kafka partition whose old segments were deleted.
+    """
+
+    def __init__(self, topic: str, partition: int) -> None:
+        self.topic = topic
+        self.partition = partition
+        self._records: list[Record] = []
+        self._base_offset = 0
+
+    @property
+    def start_offset(self) -> int:
+        """Oldest offset still retained."""
+        return self._base_offset
+
+    @property
+    def end_offset(self) -> int:
+        """The next offset to be assigned (the high watermark)."""
+        return self._base_offset + len(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def append(self, record: Record) -> int:
+        """Append one record; return the offset it was assigned."""
+        self._records.append(record)
+        return self.end_offset - 1
+
+    def append_batch(self, records: Iterable[Record]) -> list[int]:
+        """Append several records; return their offsets in order."""
+        return [self.append(record) for record in records]
+
+    def read(self, offset: int, max_records: int | None = None) -> list[ConsumedRecord]:
+        """Read records starting at ``offset`` (up to ``max_records``).
+
+        Reading exactly at the end offset returns an empty list (a poll
+        with no new data); reading beyond it, or before the retained
+        start, raises :class:`OffsetOutOfRangeError`.
+        """
+        if offset < self._base_offset or offset > self.end_offset:
+            raise OffsetOutOfRangeError(
+                f"offset {offset} outside [{self._base_offset}, {self.end_offset}] "
+                f"for {self.topic}-{self.partition}"
+            )
+        begin = offset - self._base_offset
+        end = len(self._records) if max_records is None else begin + max_records
+        out: list[ConsumedRecord] = []
+        for index, record in enumerate(self._records[begin:end], start=offset):
+            out.append(
+                ConsumedRecord(
+                    topic=self.topic,
+                    partition=self.partition,
+                    offset=index,
+                    key=record.key,
+                    value=record.value,
+                    timestamp=record.timestamp,
+                    headers=record.headers,
+                )
+            )
+        return out
+
+    def truncate_before(self, offset: int) -> int:
+        """Drop records below ``offset`` (retention); return count dropped.
+
+        Truncating beyond the end clamps to the end (the log becomes
+        empty but offsets keep counting from where they were).
+        """
+        offset = min(offset, self.end_offset)
+        if offset <= self._base_offset:
+            return 0
+        dropped = offset - self._base_offset
+        del self._records[:dropped]
+        self._base_offset = offset
+        return dropped

@@ -1,0 +1,77 @@
+"""Record types and serialization for the pub/sub substrate.
+
+Mirrors Kafka's data model: a :class:`Record` is a key/value pair with
+a timestamp and optional headers; a :class:`ConsumedRecord` is the same
+plus its position (topic, partition, offset) once read back from a log.
+Values are arbitrary Python objects by default; a pluggable
+:class:`Serde` pair exists so tests can exercise the byte-size
+accounting used by the network simulator.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+__all__ = ["Record", "ConsumedRecord", "Serde", "JSON_SERDE", "PICKLE_SERDE"]
+
+
+@dataclass(frozen=True, slots=True)
+class Record:
+    """A produced record, before it is assigned an offset.
+
+    Attributes:
+        key: Partitioning key (``None`` lets the producer round-robin).
+        value: The payload.
+        timestamp: Producer-assigned event time (seconds).
+        headers: Optional string metadata, like Kafka record headers.
+    """
+
+    key: str | None
+    value: Any
+    timestamp: float = 0.0
+    headers: Mapping[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True, slots=True)
+class ConsumedRecord:
+    """A record read from a partition log, with its position attached."""
+
+    topic: str
+    partition: int
+    offset: int
+    key: str | None
+    value: Any
+    timestamp: float
+    headers: Mapping[str, str] = field(default_factory=dict)
+
+    @property
+    def position(self) -> tuple[str, int, int]:
+        """The (topic, partition, offset) coordinate of this record."""
+        return (self.topic, self.partition, self.offset)
+
+
+@dataclass(frozen=True, slots=True)
+class Serde:
+    """A serializer/deserializer pair for payload byte accounting."""
+
+    serialize: Callable[[Any], bytes]
+    deserialize: Callable[[bytes], Any]
+
+    def size_of(self, value: Any) -> int:
+        """Serialized size of a value in bytes."""
+        return len(self.serialize(value))
+
+
+def _json_ser(value: Any) -> bytes:
+    return json.dumps(value, separators=(",", ":"), default=str).encode()
+
+
+def _json_de(data: bytes) -> Any:
+    return json.loads(data.decode())
+
+
+JSON_SERDE = Serde(_json_ser, _json_de)
+PICKLE_SERDE = Serde(pickle.dumps, pickle.loads)

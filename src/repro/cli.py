@@ -1,0 +1,115 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``figures [ids...] [--scale quick|bench]`` — regenerate the paper's
+  evaluation figures as text tables (all of them by default).
+* ``list`` — list the available figures with descriptions.
+* ``info`` — print the library version and subsystem inventory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro import __version__
+from repro.errors import ReproError
+from repro.experiments.base import ExperimentScale
+from repro.experiments.figures import FIGURES, run_figure
+
+__all__ = ["build_parser", "main"]
+
+_SCALES = {
+    "quick": ExperimentScale.quick,
+    "bench": ExperimentScale.bench,
+}
+
+_SUBSYSTEMS = [
+    ("repro.core", "weighted hierarchical sampling, estimators, bounds"),
+    ("repro.broker", "Kafka-model pub/sub substrate"),
+    ("repro.streams", "Kafka-Streams-model processing engine"),
+    ("repro.simnet", "discrete-event WAN/host simulator"),
+    ("repro.topology", "logical tree + placement"),
+    ("repro.system", "assembled pipelines (statistical / deployment)"),
+    ("repro.workloads", "synthetic + real-world trace generators"),
+    ("repro.queries", "linear, grouped, top-k and quantile queries"),
+    ("repro.experiments", "per-figure evaluation harness"),
+]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ApproxIoT reproduction (ICDCS 2018)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    figures = subparsers.add_parser(
+        "figures", help="regenerate evaluation figures as text tables"
+    )
+    figures.add_argument(
+        "ids",
+        nargs="*",
+        metavar="FIG",
+        help=f"figure ids to run (default: all of {sorted(FIGURES)})",
+    )
+    figures.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="quick",
+        help="experiment sizing (default: quick)",
+    )
+
+    subparsers.add_parser("list", help="list available figures")
+    subparsers.add_parser("info", help="print version and inventory")
+    return parser
+
+
+def _cmd_figures(ids: list[str], scale_name: str) -> int:
+    scale = _SCALES[scale_name]()
+    targets = ids or sorted(FIGURES)
+    for figure_id in targets:
+        try:
+            run_figure(figure_id, scale)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print()
+    return 0
+
+
+def _cmd_list() -> int:
+    width = max(len(figure_id) for figure_id in FIGURES)
+    for figure_id in sorted(FIGURES):
+        description, _entry = FIGURES[figure_id]
+        print(f"{figure_id.ljust(width)}  {description}")
+    return 0
+
+
+def _cmd_info() -> int:
+    print(f"repro {__version__} — ApproxIoT reproduction (ICDCS 2018)")
+    print("subsystems:")
+    for module, description in _SUBSYSTEMS:
+        print(f"  {module.ljust(18)} {description}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "figures":
+            return _cmd_figures(args.ids, args.scale)
+        if args.command == "list":
+            return _cmd_list()
+        return _cmd_info()
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an error.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,87 @@
+"""Core algorithms of the ApproxIoT reproduction.
+
+This subpackage contains the paper's primary contribution: weighted
+hierarchical sampling (Algorithm 1), the per-node driver (Algorithm 2),
+the SUM/MEAN estimators of §III-C, the error bounds of §III-D, and the
+distributed-execution extension of §III-E, together with the sampling
+primitives they build on (reservoir sampling, coin-flip SRS, stratum
+budget allocation) and the budget cost functions.
+"""
+
+from repro.core.cost import AdaptiveErrorBudget, FractionBudget, ThroughputBudget
+from repro.core.error_bounds import (
+    ApproximateResult,
+    confidence_multiplier,
+    estimate_mean_with_error,
+    estimate_sum_with_error,
+    mean_variance,
+    sample_variance,
+    substream_sum_variance,
+    sum_variance,
+)
+from repro.core.estimator import (
+    SubstreamEstimate,
+    ThetaStore,
+    estimate_mean,
+    estimate_sum,
+)
+from repro.core.items import StreamItem, WeightedBatch, group_by_substream
+from repro.core.node import QueryResult, RootNode, SamplingNode
+from repro.core.reservoir import (
+    ReservoirSampler,
+    SkipAheadReservoirSampler,
+    reservoir_sample,
+)
+from repro.core.srs import CoinFlipSampler, horvitz_thompson_sum, srs_sample
+from repro.core.stratified import (
+    allocate_equal,
+    allocate_fair_fill,
+    allocate_proportional,
+    get_allocation_policy,
+)
+from repro.core.weights import WeightMap, local_weight, output_weight
+from repro.core.whs import WeightedHierarchicalSampler, WHSampResult, whsamp
+from repro.core.worker import ParallelSamplingNode, SubstreamWorker, WorkerPool
+
+__all__ = [
+    "AdaptiveErrorBudget",
+    "ApproximateResult",
+    "CoinFlipSampler",
+    "FractionBudget",
+    "ParallelSamplingNode",
+    "QueryResult",
+    "ReservoirSampler",
+    "RootNode",
+    "SamplingNode",
+    "SkipAheadReservoirSampler",
+    "StreamItem",
+    "SubstreamEstimate",
+    "SubstreamWorker",
+    "ThetaStore",
+    "ThroughputBudget",
+    "WHSampResult",
+    "WeightMap",
+    "WeightedBatch",
+    "WeightedHierarchicalSampler",
+    "WorkerPool",
+    "allocate_equal",
+    "allocate_fair_fill",
+    "allocate_proportional",
+    "confidence_multiplier",
+    "estimate_mean",
+    "estimate_mean_with_error",
+    "estimate_sum",
+    "estimate_sum_with_error",
+    "get_allocation_policy",
+    "group_by_substream",
+    "horvitz_thompson_sum",
+    "local_weight",
+    "mean_variance",
+    "output_weight",
+    "reservoir_sample",
+    "sample_variance",
+    "srs_sample",
+    "substream_sum_variance",
+    "sum_variance",
+    "whsamp",
+]

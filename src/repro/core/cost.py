@@ -1,0 +1,157 @@
+"""Cost function: translating a query budget into sample sizes.
+
+Algorithm 2 line 3 assumes "a cost function which translates a given
+query budget (such as the user-specified latency/throughput/accuracy
+guarantees) into the appropriate sample size for a node". The paper's
+prototype adjusts these parameters manually and lists an automated cost
+function as future work; we implement both the manual path and a simple
+automated controller:
+
+* :class:`FractionBudget` — the manual path: the analyst fixes a
+  sampling fraction and the cost function turns an interval's expected
+  arrival count into a reservoir budget.
+* :class:`ThroughputBudget` — caps the number of items per second a
+  node may forward (models limited uplink/CPU at an edge node).
+* :class:`AdaptiveErrorBudget` — the feedback mechanism of §IV-B: if
+  the reported error bound exceeds the target, grow the sampling
+  fraction for subsequent runs; if comfortably below, shrink it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["FractionBudget", "ThroughputBudget", "AdaptiveErrorBudget"]
+
+
+def _require_fraction(fraction: float) -> float:
+    if not 0.0 < fraction <= 1.0:
+        raise ConfigurationError(
+            f"sampling fraction must be in (0, 1], got {fraction}"
+        )
+    return float(fraction)
+
+
+@dataclass(slots=True)
+class FractionBudget:
+    """Fixed sampling fraction — the paper's evaluation configuration.
+
+    Attributes:
+        fraction: Fraction of the interval's arrivals to keep.
+        floor: Minimum sample size so tiny intervals still sample.
+    """
+
+    fraction: float
+    floor: int = 1
+
+    def __post_init__(self) -> None:
+        self.fraction = _require_fraction(self.fraction)
+        if self.floor < 1:
+            raise ConfigurationError(f"floor must be >= 1, got {self.floor}")
+
+    def sample_size(self, expected_arrivals: int) -> int:
+        """Reservoir budget for an interval with the given arrivals."""
+        if expected_arrivals < 0:
+            raise ConfigurationError(
+                f"expected arrivals must be >= 0, got {expected_arrivals}"
+            )
+        return max(self.floor, int(round(expected_arrivals * self.fraction)))
+
+
+@dataclass(slots=True)
+class ThroughputBudget:
+    """Cap on forwarded items per second (resource-constrained node).
+
+    Attributes:
+        items_per_second: Maximum sustained forwarding rate.
+    """
+
+    items_per_second: float
+
+    def __post_init__(self) -> None:
+        if self.items_per_second <= 0:
+            raise ConfigurationError(
+                f"items_per_second must be positive, got {self.items_per_second}"
+            )
+
+    def sample_size(self, interval_seconds: float) -> int:
+        """Reservoir budget for an interval of the given length."""
+        if interval_seconds <= 0:
+            raise ConfigurationError(
+                f"interval must be positive, got {interval_seconds}"
+            )
+        return max(1, int(self.items_per_second * interval_seconds))
+
+
+class AdaptiveErrorBudget:
+    """Multiplicative-increase feedback on the sampling fraction.
+
+    After each query window the root compares the *relative* error bound
+    against the analyst's target. When the bound is too loose the
+    fraction is scaled up by ``grow``; when it is much tighter than
+    needed (below ``target * slack``), the fraction is scaled down by
+    ``shrink`` to save resources. The fraction stays within
+    ``[min_fraction, 1.0]``.
+    """
+
+    def __init__(
+        self,
+        target_relative_error: float,
+        initial_fraction: float = 0.1,
+        *,
+        grow: float = 1.5,
+        shrink: float = 0.9,
+        slack: float = 0.5,
+        min_fraction: float = 0.01,
+    ) -> None:
+        if target_relative_error <= 0:
+            raise ConfigurationError(
+                f"target error must be positive, got {target_relative_error}"
+            )
+        if grow <= 1.0:
+            raise ConfigurationError(f"grow factor must exceed 1, got {grow}")
+        if not 0.0 < shrink < 1.0:
+            raise ConfigurationError(f"shrink must be in (0, 1), got {shrink}")
+        if not 0.0 < slack < 1.0:
+            raise ConfigurationError(f"slack must be in (0, 1), got {slack}")
+        self._target = float(target_relative_error)
+        self._fraction = _require_fraction(initial_fraction)
+        self._min_fraction = _require_fraction(min_fraction)
+        self._grow = float(grow)
+        self._shrink = float(shrink)
+        self._slack = float(slack)
+        self._history: list[float] = [self._fraction]
+
+    @property
+    def fraction(self) -> float:
+        """The current sampling fraction recommended for all layers."""
+        return self._fraction
+
+    @property
+    def target(self) -> float:
+        """The analyst's relative-error target."""
+        return self._target
+
+    @property
+    def history(self) -> list[float]:
+        """All fractions the controller has recommended so far."""
+        return list(self._history)
+
+    def observe(self, relative_error: float) -> float:
+        """Feed back one window's relative error; return the new fraction."""
+        if relative_error < 0:
+            raise ConfigurationError(
+                f"relative error must be >= 0, got {relative_error}"
+            )
+        if relative_error > self._target:
+            self._fraction = min(1.0, self._fraction * self._grow)
+        elif relative_error < self._target * self._slack:
+            self._fraction = max(self._min_fraction, self._fraction * self._shrink)
+        self._history.append(self._fraction)
+        return self._fraction
+
+    def sample_size(self, expected_arrivals: int) -> int:
+        """Reservoir budget under the current fraction."""
+        return FractionBudget(self._fraction).sample_size(expected_arrivals)

@@ -1,0 +1,106 @@
+"""Data-item primitives shared across the library.
+
+The unit of data in ApproxIoT is a *stream item*: a numeric value tagged
+with the sub-stream (stratum) it belongs to and the simulated time at
+which its source emitted it. Nodes exchange *weighted batches*: a set of
+items from one sub-stream together with the output weight computed by
+Algorithm 1 (the ``(W_out, I)`` pairs the paper stores in ``Theta``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+__all__ = ["StreamItem", "WeightedBatch", "group_by_substream"]
+
+
+@dataclass(frozen=True, slots=True)
+class StreamItem:
+    """One record of an input stream.
+
+    Attributes:
+        substream: Identifier of the stratum (data source or group of
+            sources following the same distribution) the item belongs to.
+        value: The numeric payload the query aggregates over.
+        emitted_at: Simulation time (seconds) at which the source
+            produced the item. Used for end-to-end latency accounting.
+        size_bytes: Serialized size used by the network simulator for
+            bandwidth accounting.
+    """
+
+    substream: str
+    value: float
+    emitted_at: float = 0.0
+    size_bytes: int = 100
+
+    def with_value(self, value: float) -> "StreamItem":
+        """Return a copy of this item carrying a different value."""
+        return StreamItem(self.substream, value, self.emitted_at, self.size_bytes)
+
+
+@dataclass(slots=True)
+class WeightedBatch:
+    """A ``(W_out, I)`` pair for one sub-stream.
+
+    This is the unit forwarded between nodes of the logical tree and the
+    element type of the root's temporary store ``Theta`` in Algorithm 2.
+
+    Attributes:
+        substream: The stratum the items belong to.
+        weight: The output weight ``W_out`` attached by the last node
+            that sampled the batch. A weight of ``w`` means each carried
+            item statistically represents ``w`` original items.
+        items: The sampled items.
+    """
+
+    substream: str
+    weight: float
+    items: list[StreamItem] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"batch weight must be positive, got {self.weight}")
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self) -> Iterator[StreamItem]:
+        return iter(self.items)
+
+    @property
+    def estimated_count(self) -> float:
+        """Estimate of the number of original items this batch represents.
+
+        This is the left-hand side of the paper's invariant (Eq. 8):
+        ``|I| * W_out`` equals the true item count at the bottom node.
+        """
+        return len(self.items) * self.weight
+
+    @property
+    def estimated_sum(self) -> float:
+        """Weighted sum contribution of this batch (inner term of Eq. 3)."""
+        return self.weight * sum(item.value for item in self.items)
+
+    @property
+    def total_bytes(self) -> int:
+        """Serialized payload size of the batch for bandwidth accounting."""
+        return sum(item.size_bytes for item in self.items)
+
+
+def group_by_substream(items: Iterable[StreamItem]) -> dict[str, list[StreamItem]]:
+    """Stratify a flat item sequence by sub-stream identifier.
+
+    This implements the ``Update`` step (line 5 of Algorithm 1): the node
+    stratifies the input stream into sub-streams according to their
+    sources.
+    """
+    grouped: dict[str, list[StreamItem]] = {}
+    for item in items:
+        grouped.setdefault(item.substream, []).append(item)
+    return grouped
+
+
+def total_value(batches: Sequence[WeightedBatch]) -> float:
+    """Sum the weighted values over a collection of batches."""
+    return sum(batch.estimated_sum for batch in batches)

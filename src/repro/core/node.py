@@ -1,0 +1,220 @@
+"""Per-node drivers for Algorithm 2.
+
+Two roles exist in the logical tree:
+
+* :class:`SamplingNode` — an edge computing node. Per time interval it
+  runs weighted hierarchical sampling over everything that arrived and
+  forwards the ``(W_out, sample)`` pairs to its parent.
+* :class:`RootNode` — the datacenter node. It samples like any other
+  node, but instead of forwarding it accumulates batches in a
+  :class:`~repro.core.estimator.ThetaStore` and, when the window
+  closes, runs the query and attaches error bounds.
+
+Both roles consume :class:`~repro.core.items.WeightedBatch` objects so
+a node can ingest either raw source data (weight 1) or the output of a
+downstream node. This mirrors the paper's store ``Psi`` of
+``(W_in, items)`` pairs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.core.error_bounds import (
+    ApproximateResult,
+    estimate_mean_with_error,
+    estimate_sum_with_error,
+)
+from repro.core.estimator import ThetaStore
+from repro.core.items import StreamItem, WeightedBatch
+from repro.core.stratified import AllocationPolicy, allocate_fair_fill
+from repro.core.whs import WHSampResult, whsamp_batches
+from repro.core.weights import WeightMap
+from repro.errors import PipelineError
+
+__all__ = ["SamplingNode", "RootNode", "QueryResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class QueryResult:
+    """Output of one query window at the root: ``result ± error``.
+
+    Attributes:
+        window_index: Which window (interval sequence number) this is.
+        sum: The approximate SUM* with its error bound.
+        mean: The approximate MEAN* with its error bound.
+        sampled_items: Number of physical items the window used.
+        estimated_items: Recovered total item count (Eq. 8 per stratum).
+    """
+
+    window_index: int
+    sum: ApproximateResult
+    mean: ApproximateResult
+    sampled_items: int
+    estimated_items: float
+
+
+class _NodeBase:
+    """State shared by sampling and root nodes: Psi, weights, sampler."""
+
+    def __init__(
+        self,
+        name: str,
+        sample_size: int,
+        *,
+        policy: AllocationPolicy = allocate_fair_fill,
+        rng: random.Random | None = None,
+    ) -> None:
+        if sample_size <= 0:
+            raise PipelineError(f"sample size must be positive, got {sample_size}")
+        self.name = name
+        self._sample_size = int(sample_size)
+        self._policy = policy
+        self._rng = rng if rng is not None else random.Random()
+        self._weights = WeightMap()
+        self._psi: list[WeightedBatch] = []
+        self.intervals_processed = 0
+
+    @property
+    def sample_size(self) -> int:
+        """Per-interval sample budget (line 3 of Algorithm 2)."""
+        return self._sample_size
+
+    @sample_size.setter
+    def sample_size(self, value: int) -> None:
+        if value <= 0:
+            raise PipelineError(f"sample size must be positive, got {value}")
+        self._sample_size = int(value)
+
+    @property
+    def weights(self) -> WeightMap:
+        """The node's current weight map (stale weights persist)."""
+        return self._weights
+
+    @property
+    def pending_items(self) -> int:
+        """Items buffered for the current interval."""
+        return sum(len(batch) for batch in self._psi)
+
+    def receive(self, batch: WeightedBatch) -> None:
+        """Buffer one ``(W_in, items)`` pair into Psi for this interval."""
+        self._weights.update(batch.substream, batch.weight)
+        self._psi.append(batch)
+
+    def receive_raw(self, items: Iterable[StreamItem]) -> None:
+        """Buffer items that arrived without weight metadata.
+
+        Figure 3's stale-weight rule applies: each stratum takes the
+        node's most recent weight for it, which is the default 1.0 for
+        items fresh from a data source.
+        """
+        by_stream: dict[str, list[StreamItem]] = {}
+        for item in items:
+            by_stream.setdefault(item.substream, []).append(item)
+        for substream, sub_items in by_stream.items():
+            self._psi.append(
+                WeightedBatch(substream, self._weights.get(substream), sub_items)
+            )
+
+    def _drain_interval(self) -> WHSampResult:
+        """Consume Psi: run WHSamp over every buffered pair (lines 5-19).
+
+        Pairs are sampled per ``(sub-stream, weight)`` group — merging
+        pairs with different input weights under one reservoir would
+        break the count invariant (Eq. 8).
+        """
+        pairs = list(self._psi)
+        self._psi.clear()
+        result = whsamp_batches(
+            pairs,
+            self._sample_size,
+            policy=self._policy,
+            rng=self._rng,
+        )
+        # The node's weight map tracks *received* weights only (updated
+        # in receive()); its own output weights never feed back, per
+        # Figure 3's stale-weight rule.
+        self.intervals_processed += 1
+        return result
+
+
+class SamplingNode(_NodeBase):
+    """An edge node: sample each interval and forward to the parent.
+
+    The ``forward`` callable abstracts the transport (in-process list,
+    pub/sub topic, or simulated WAN link); Algorithm 2 line 13 is
+    ``Send(parent, W_out, sample)``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        sample_size: int,
+        forward: Callable[[WeightedBatch], None],
+        *,
+        policy: AllocationPolicy = allocate_fair_fill,
+        rng: random.Random | None = None,
+    ) -> None:
+        super().__init__(name, sample_size, policy=policy, rng=rng)
+        self._forward = forward
+
+    def close_interval(self) -> WHSampResult:
+        """End the current interval: sample and forward the batches."""
+        result = self._drain_interval()
+        for batch in result.batches:
+            self._forward(batch)
+        return result
+
+
+class RootNode(_NodeBase):
+    """The datacenter node: sample, accumulate Theta, run the query."""
+
+    def __init__(
+        self,
+        name: str,
+        sample_size: int,
+        *,
+        confidence: float = 0.95,
+        policy: AllocationPolicy = allocate_fair_fill,
+        rng: random.Random | None = None,
+    ) -> None:
+        super().__init__(name, sample_size, policy=policy, rng=rng)
+        self._confidence = confidence
+        self._theta = ThetaStore()
+        self._windows_closed = 0
+
+    @property
+    def theta(self) -> ThetaStore:
+        """The accumulating store of ``(W_out, sample)`` pairs."""
+        return self._theta
+
+    def close_interval(self) -> WHSampResult:
+        """End the interval: sample and stash batches into Theta."""
+        result = self._drain_interval()
+        self._theta.extend(result.batches)
+        return result
+
+    def run_query(self) -> QueryResult:
+        """Execute the window query over Theta (lines 20-25).
+
+        Computes SUM* and MEAN* with error bounds, clears Theta and
+        returns the ``result ± error`` record.
+        """
+        if len(self._theta) == 0:
+            raise PipelineError("no data accumulated for this window")
+        estimates = self._theta.per_substream()
+        approx_sum = estimate_sum_with_error(self._theta, self._confidence)
+        approx_mean = estimate_mean_with_error(self._theta, self._confidence)
+        sampled = sum(est.sampled_count for est in estimates.values())
+        estimated = sum(est.estimated_count for est in estimates.values())
+        self._theta.clear()
+        self._windows_closed += 1
+        return QueryResult(
+            window_index=self._windows_closed,
+            sum=approx_sum,
+            mean=approx_mean,
+            sampled_items=sampled,
+            estimated_items=estimated,
+        )

@@ -1,0 +1,103 @@
+"""Simple random sampling (SRS) baseline.
+
+The paper's baseline (implemented in its prototype as a user-defined
+Kafka processor) is the *coin-flip* sampling algorithm of Jermaine et
+al. (DBO): each arriving item is kept independently with probability
+equal to the sampling fraction, regardless of which sub-stream it came
+from. SRS therefore under-represents small-but-important sub-streams,
+which is exactly the failure mode ApproxIoT's stratification fixes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generic, Iterable, Sequence, TypeVar
+
+from repro.errors import SamplingError
+
+__all__ = ["CoinFlipSampler", "srs_sample"]
+
+T = TypeVar("T")
+
+
+class CoinFlipSampler(Generic[T]):
+    """Bernoulli (coin-flip) sampler with a fixed keep probability.
+
+    Unlike reservoir sampling, the coin-flip sampler needs no window or
+    buffer: each item is decided on arrival. That is why, in the
+    paper's Figure 9, the SRS system's latency does not grow with the
+    window size while ApproxIoT's does.
+    """
+
+    def __init__(self, fraction: float, rng: random.Random | None = None) -> None:
+        if not 0.0 < fraction <= 1.0:
+            raise SamplingError(
+                f"sampling fraction must be in (0, 1], got {fraction}"
+            )
+        self._fraction = float(fraction)
+        self._rng = rng if rng is not None else random.Random()
+        self._seen = 0
+        self._kept = 0
+
+    @property
+    def fraction(self) -> float:
+        """The configured keep probability."""
+        return self._fraction
+
+    @property
+    def seen(self) -> int:
+        """Number of items offered so far."""
+        return self._seen
+
+    @property
+    def kept(self) -> int:
+        """Number of items kept so far."""
+        return self._kept
+
+    @property
+    def weight(self) -> float:
+        """Inverse-probability weight for kept items (1 / fraction)."""
+        return 1.0 / self._fraction
+
+    def offer(self, item: T) -> T | None:
+        """Offer an item; return it if kept, ``None`` if dropped."""
+        self._seen += 1
+        if self._rng.random() < self._fraction:
+            self._kept += 1
+            return item
+        return None
+
+    def filter(self, items: Iterable[T]) -> list[T]:
+        """Keep each item of an iterable independently."""
+        kept: list[T] = []
+        for item in items:
+            if self.offer(item) is not None:
+                kept.append(item)
+        return kept
+
+    def reset_counters(self) -> None:
+        """Zero the seen/kept counters (keep probability unchanged)."""
+        self._seen = 0
+        self._kept = 0
+
+
+def srs_sample(
+    items: Sequence[T], fraction: float, rng: random.Random | None = None
+) -> list[T]:
+    """One-shot coin-flip sample of a sequence at the given fraction."""
+    return CoinFlipSampler[T](fraction, rng).filter(items)
+
+
+def horvitz_thompson_sum(values: Sequence[float], fraction: float) -> float:
+    """Estimate a population sum from an SRS sample.
+
+    Each sampled value is scaled by the inverse of its inclusion
+    probability; this is how the SRS baseline system in the paper
+    recreates the total from its sample. Under extreme skew this
+    estimator has huge variance (Figure 10(c)) because the rare,
+    high-value sub-stream is either missed entirely (underestimate) or
+    scaled up by 1/fraction (overestimate).
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise SamplingError(f"sampling fraction must be in (0, 1], got {fraction}")
+    return sum(values) / fraction

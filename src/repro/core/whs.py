@@ -1,0 +1,233 @@
+"""Weighted hierarchical sampling — Algorithm 1 of the paper.
+
+``whsamp`` is the basic operation run on every node in the logical
+tree, once per time interval. It stratifies the interval's arrivals
+into sub-streams, allocates the node's sample budget across them, runs
+reservoir sampling per sub-stream, and rescales each sub-stream's
+weight by ``c_i / N_i`` when its reservoir overflowed (Equations 1–2).
+
+The key invariant (the paper proves it as Equation 8 and we test it
+property-based) is that the *estimated count* is preserved exactly::
+
+    W_out_i * c~_i == W_in_i * c_i
+
+where ``c_i`` is the number of arrivals and ``c~_i`` the number of
+sampled items. Because of this, the root's weighted sums are unbiased
+regardless of how many layers sampled the data on the way.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.core.items import StreamItem, WeightedBatch, group_by_substream
+from repro.core.reservoir import ReservoirSampler
+from repro.core.stratified import AllocationPolicy, allocate_fair_fill
+from repro.core.weights import WeightMap, output_weight
+from repro.errors import SamplingError
+
+__all__ = [
+    "WHSampResult",
+    "whsamp",
+    "whsamp_batches",
+    "WeightedHierarchicalSampler",
+]
+
+
+@dataclass(slots=True)
+class WHSampResult:
+    """Return value of one ``whsamp`` invocation.
+
+    Attributes:
+        batches: One :class:`WeightedBatch` per sub-stream seen in the
+            interval, carrying the sampled items and output weight.
+        weights: The output weight map ``W_out`` for all sub-streams.
+        seen: Per-sub-stream arrival counts ``c_i`` for the interval.
+        allocation: Per-sub-stream reservoir sizes ``N_i`` used.
+    """
+
+    batches: list[WeightedBatch] = field(default_factory=list)
+    weights: WeightMap = field(default_factory=WeightMap)
+    seen: dict[str, int] = field(default_factory=dict)
+    allocation: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def sampled_count(self) -> int:
+        """Total number of items kept across all sub-streams."""
+        return sum(len(batch) for batch in self.batches)
+
+    @property
+    def arrival_count(self) -> int:
+        """Total number of items offered across all sub-streams."""
+        return sum(self.seen.values())
+
+
+def whsamp_batches(
+    batches: Iterable[WeightedBatch],
+    sample_size: int,
+    *,
+    policy: AllocationPolicy = allocate_fair_fill,
+    rng: random.Random | None = None,
+) -> WHSampResult:
+    """Run Algorithm 1 over the interval's ``(W_in, items)`` pairs.
+
+    Algorithm 2's inner loop hands *each pair* of weight map and items
+    to WHSamp separately — a node may receive several pairs for the
+    same sub-stream (one per child, per interval split) carrying
+    *different* input weights, and merging them under a single weight
+    would break the count invariant of Eq. 8. This entry point keeps
+    the invariant by sampling each ``(sub-stream, W_in)`` group through
+    its own reservoir: the node's budget is allocated across groups by
+    ``policy``, and each group's output weight follows Eq. 2 from its
+    own input weight. The output therefore contains one weighted batch
+    per group, which is exactly why the root's Theta store may hold
+    "multiple pairs of the weight map and sampled items" per
+    sub-stream (§III-C).
+
+    The result's weight map records, per sub-stream, the output weight
+    of that sub-stream's largest group — the "up-to-date weight" used
+    by the stale-weight rule of Figure 3 when later items arrive
+    without metadata.
+    """
+    if sample_size <= 0:
+        raise SamplingError(f"sample size must be positive, got {sample_size}")
+    rng = rng if rng is not None else random.Random()
+
+    groups: dict[tuple[str, float], list[StreamItem]] = {}
+    for batch in batches:
+        groups.setdefault((batch.substream, batch.weight), []).extend(
+            batch.items
+        )
+    groups = {key: items for key, items in groups.items() if items}
+
+    result = WHSampResult()
+    if not groups:
+        return result
+
+    counts = {key: len(items) for key, items in groups.items()}
+    allocation = policy(sample_size, counts)  # line 7: getSampleSize
+    dominant: dict[str, int] = {}
+    for (substream, w_in), group_items in groups.items():
+        key = (substream, w_in)
+        capacity = allocation[key]
+        sampler: ReservoirSampler[StreamItem] = ReservoirSampler(capacity, rng)
+        sampler.extend(group_items)  # line 10: RS(S_i, N_i)
+        sampled = sampler.sample()
+        w_out = output_weight(w_in, counts[key], capacity)  # Eq. 1-2
+        result.batches.append(WeightedBatch(substream, w_out, sampled))
+        result.seen[substream] = result.seen.get(substream, 0) + counts[key]
+        result.allocation[substream] = (
+            result.allocation.get(substream, 0) + capacity
+        )
+        if counts[key] >= dominant.get(substream, 0):
+            dominant[substream] = counts[key]
+            result.weights.update(substream, w_out)
+    return result
+
+
+def whsamp(
+    items: Iterable[StreamItem],
+    sample_size: int,
+    input_weights: WeightMap | Mapping[str, float] | None = None,
+    *,
+    policy: AllocationPolicy = allocate_fair_fill,
+    rng: random.Random | None = None,
+) -> WHSampResult:
+    """Run Algorithm 1 over one interval's arrivals.
+
+    Args:
+        items: The data items received within the interval (possibly
+            from many sub-streams, in arrival order).
+        sample_size: The node's total sample budget for the interval,
+            derived from the resource budget by the cost function.
+        input_weights: ``W_in`` — the latest weights received from
+            downstream nodes. Sub-streams with no recorded weight
+            default to 1 (items fresh from a source). Per Figure 3,
+            stale weights apply when items and weights arrive in
+            different intervals, which this map encodes naturally.
+        policy: The ``getSampleSize`` budget-split policy.
+        rng: Random source (pass a seeded instance for reproducibility).
+
+    Returns:
+        A :class:`WHSampResult` with the sampled batches and ``W_out``.
+    """
+    if sample_size <= 0:
+        raise SamplingError(f"sample size must be positive, got {sample_size}")
+    weights_in = (
+        input_weights.copy()
+        if isinstance(input_weights, WeightMap)
+        else WeightMap(input_weights)
+    )
+    substreams = group_by_substream(items)  # line 5: Update(items)
+    pairs = [
+        WeightedBatch(substream, weights_in.get(substream), sub_items)
+        for substream, sub_items in substreams.items()
+    ]
+    result = whsamp_batches(pairs, sample_size, policy=policy, rng=rng)
+    # The caller's full weight map rolls forward: sub-streams absent
+    # from this interval keep their stale weights (Figure 3's rule).
+    merged = weights_in.copy()
+    merged.merge(result.weights)
+    result.weights = merged
+    return result
+
+
+class WeightedHierarchicalSampler:
+    """Stateful per-node wrapper around :func:`whsamp`.
+
+    A node keeps the weights it has *received* across intervals so the
+    stale-weight rule of Figure 3 applies automatically: if items of
+    sub-stream ``i`` arrive in an interval with no accompanying weight
+    update, the last weight received for ``i`` (via
+    :meth:`observe_weights`) is used as ``W_in_i``. The node's own
+    *output* weights never feed back — node B in Figure 3 reuses the
+    received ``w = 1.5`` in interval ``v+1``, not its previous output
+    ``w = 3`` (feeding outputs back would compound the weight every
+    interval and blow up the estimate exponentially).
+    """
+
+    def __init__(
+        self,
+        sample_size: int,
+        *,
+        policy: AllocationPolicy = allocate_fair_fill,
+        rng: random.Random | None = None,
+    ) -> None:
+        if sample_size <= 0:
+            raise SamplingError(f"sample size must be positive, got {sample_size}")
+        self._sample_size = int(sample_size)
+        self._policy = policy
+        self._rng = rng if rng is not None else random.Random()
+        self._weights = WeightMap()
+
+    @property
+    def sample_size(self) -> int:
+        """Current per-interval sample budget."""
+        return self._sample_size
+
+    @sample_size.setter
+    def sample_size(self, value: int) -> None:
+        if value <= 0:
+            raise SamplingError(f"sample size must be positive, got {value}")
+        self._sample_size = int(value)
+
+    @property
+    def weights(self) -> WeightMap:
+        """The node's current (stale-weight) map, shared across intervals."""
+        return self._weights
+
+    def observe_weights(self, weights: Mapping[str, float] | WeightMap) -> None:
+        """Fold in weight metadata received from a downstream node."""
+        self._weights.merge(weights)
+
+    def process_interval(self, items: Iterable[StreamItem]) -> WHSampResult:
+        """Sample one interval's arrivals under the received weights."""
+        return whsamp(
+            items,
+            self._sample_size,
+            self._weights,
+            policy=self._policy,
+            rng=self._rng,
+        )

@@ -1,0 +1,207 @@
+"""Distributed execution extension (§III-E of the paper).
+
+A sub-stream can be handled by ``w`` worker nodes: each worker samples
+an equal share of the sub-stream's items into a local reservoir of size
+at most ``N_i / w`` and keeps a local arrival counter for the weight
+calculation. No synchronisation is needed — the per-worker batches are
+simply concatenated upstream, and the count-preservation invariant
+(Eq. 8) holds per worker, hence also for the union.
+
+The implementation is deliberately deterministic and in-process (we
+shard round-robin rather than by a load balancer), which keeps the
+statistical behaviour identical while making tests reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.core.items import StreamItem, WeightedBatch
+from repro.core.reservoir import ReservoirSampler
+from repro.core.weights import WeightMap, output_weight
+from repro.errors import SamplingError
+
+__all__ = ["ParallelSamplingNode", "SubstreamWorker", "WorkerPool"]
+
+
+class SubstreamWorker:
+    """One worker's local reservoir and counter for a single sub-stream."""
+
+    def __init__(
+        self,
+        substream: str,
+        capacity: int,
+        rng: random.Random | None = None,
+    ) -> None:
+        if capacity <= 0:
+            raise SamplingError(f"worker capacity must be >= 1, got {capacity}")
+        self.substream = substream
+        self._sampler: ReservoirSampler[StreamItem] = ReservoirSampler(capacity, rng)
+
+    @property
+    def seen(self) -> int:
+        """Local arrival counter (items routed to this worker)."""
+        return self._sampler.seen
+
+    def offer(self, item: StreamItem) -> None:
+        """Route one item of the sub-stream to this worker."""
+        if item.substream != self.substream:
+            raise SamplingError(
+                f"worker for {self.substream!r} got item of {item.substream!r}"
+            )
+        self._sampler.offer(item)
+
+    def flush(self, input_weight: float) -> WeightedBatch:
+        """Close the interval: emit this worker's weighted batch.
+
+        The weight is computed from the *local* counter against the
+        *local* capacity, exactly as §III-E prescribes; the worker's
+        reservoir is reset for the next interval.
+        """
+        sampled = self._sampler.sample()
+        weight = output_weight(
+            input_weight, self._sampler.seen, self._sampler.capacity
+        )
+        self._sampler.reset()
+        return WeightedBatch(self.substream, weight, sampled)
+
+
+class WorkerPool:
+    """A set of ``w`` workers jointly sampling one sub-stream.
+
+    The pool shards arriving items round-robin, so each worker receives
+    an equal portion (±1) of the sub-stream, matching the paper's
+    "each worker node samples an equal portion of items" assumption.
+    """
+
+    def __init__(
+        self,
+        substream: str,
+        total_capacity: int,
+        worker_count: int,
+        *,
+        rng: random.Random | None = None,
+    ) -> None:
+        if worker_count <= 0:
+            raise SamplingError(f"worker count must be >= 1, got {worker_count}")
+        if total_capacity < worker_count:
+            raise SamplingError(
+                "total capacity must allow at least one slot per worker "
+                f"(capacity={total_capacity}, workers={worker_count})"
+            )
+        self.substream = substream
+        per_worker = total_capacity // worker_count
+        seed_rng = rng if rng is not None else random.Random()
+        self._workers = [
+            SubstreamWorker(
+                substream,
+                per_worker,
+                random.Random(seed_rng.getrandbits(64)),
+            )
+            for _ in range(worker_count)
+        ]
+        self._next = 0
+
+    @property
+    def worker_count(self) -> int:
+        """Number of workers in the pool."""
+        return len(self._workers)
+
+    @property
+    def seen(self) -> int:
+        """Total items routed into the pool this interval."""
+        return sum(worker.seen for worker in self._workers)
+
+    def offer(self, item: StreamItem) -> None:
+        """Shard one item to the next worker (round-robin)."""
+        self._workers[self._next].offer(item)
+        self._next = (self._next + 1) % len(self._workers)
+
+    def extend(self, items: Iterable[StreamItem]) -> None:
+        """Shard a sequence of items across the pool."""
+        for item in items:
+            self.offer(item)
+
+    def flush(self, input_weight: float) -> list[WeightedBatch]:
+        """Close the interval on all workers and collect their batches."""
+        self._next = 0
+        return [worker.flush(input_weight) for worker in self._workers]
+
+
+def pooled_estimated_count(batches: Sequence[WeightedBatch]) -> float:
+    """Recovered item count over a pool's batches (union form of Eq. 8)."""
+    return sum(batch.estimated_count for batch in batches)
+
+
+class ParallelSamplingNode:
+    """A node whose sampling is spread across ``w`` workers (§III-E).
+
+    Plays the same per-interval role as
+    :class:`~repro.core.node.SamplingNode`, but each sub-stream's
+    reservoir is split across a :class:`WorkerPool`. No coordination
+    happens between workers: each keeps a local counter and local
+    reservoir, and the interval's output is simply every worker's
+    weighted batch. The count-preservation invariant holds per worker,
+    so the union is as unbiased as the single-reservoir node.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        per_substream_capacity: int,
+        worker_count: int,
+        forward: Callable[[WeightedBatch], None],
+        *,
+        rng: random.Random | None = None,
+    ) -> None:
+        if per_substream_capacity < worker_count:
+            raise SamplingError(
+                "capacity must allow one slot per worker (capacity="
+                f"{per_substream_capacity}, workers={worker_count})"
+            )
+        self.name = name
+        self._capacity = per_substream_capacity
+        self._worker_count = worker_count
+        self._forward = forward
+        self._rng = rng if rng is not None else random.Random()
+        self._pools: dict[str, WorkerPool] = {}
+        self._weights = WeightMap()
+        self.intervals_processed = 0
+
+    @property
+    def worker_count(self) -> int:
+        """Workers per sub-stream pool."""
+        return self._worker_count
+
+    def observe_weights(self, weights: Mapping[str, float]) -> None:
+        """Record weight metadata received from downstream nodes."""
+        self._weights.merge(weights)
+
+    def receive_raw(self, items: Iterable[StreamItem]) -> None:
+        """Shard arriving items into their sub-stream's worker pool."""
+        for item in items:
+            pool = self._pools.get(item.substream)
+            if pool is None:
+                pool = WorkerPool(
+                    item.substream,
+                    self._capacity,
+                    self._worker_count,
+                    rng=random.Random(self._rng.getrandbits(64)),
+                )
+                self._pools[item.substream] = pool
+            pool.offer(item)
+
+    def close_interval(self) -> list[WeightedBatch]:
+        """Flush every pool; forward and return all worker batches."""
+        out: list[WeightedBatch] = []
+        for substream, pool in self._pools.items():
+            if pool.seen == 0:
+                continue
+            for batch in pool.flush(self._weights.get(substream)):
+                if len(batch) == 0:
+                    continue
+                self._forward(batch)
+                out.append(batch)
+        self.intervals_processed += 1
+        return out

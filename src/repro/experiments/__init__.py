@@ -1,0 +1,10 @@
+"""Experiment harness: one module per figure of the paper's evaluation.
+
+Each ``figN`` module exposes ``run_*`` functions returning structured
+points and a ``main(scale)`` printing the paper-style table;
+:mod:`repro.experiments.figures` is the registry over all of them.
+"""
+
+from repro.experiments.base import ExperimentScale, PAPER_FRACTIONS
+
+__all__ = ["ExperimentScale", "PAPER_FRACTIONS"]

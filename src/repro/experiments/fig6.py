@@ -1,0 +1,106 @@
+"""Figure 6 — throughput vs sampling fraction.
+
+The paper's result: at a saturating input rate, ApproxIoT and SRS
+sustain nearly identical throughput, both scaling roughly with
+1/fraction over native execution (1.3×–9.9× for fractions 80 %–10 %),
+and matching native at the 100 % fraction (low sampling overhead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.base import (
+    ExperimentScale,
+    saturating_placement,
+    gaussian_generators,
+    uniform_schedule,
+)
+from repro.metrics.report import Table, format_rate
+from repro.system.config import ExecutionMode, PipelineConfig
+from repro.system.deployment import DeploymentSimulator
+
+__all__ = ["Fig6Point", "run_fig6", "main"]
+
+#: Fig. 6's x-axis includes the 100 % fraction.
+FIG6_FRACTIONS: list[float] = [0.1, 0.2, 0.4, 0.6, 0.8, 1.0]
+
+
+@dataclass(frozen=True, slots=True)
+class Fig6Point:
+    """Throughput of the three systems at one sampling fraction."""
+
+    fraction: float
+    approxiot: float
+    srs: float
+    native: float
+
+    @property
+    def speedup_over_native(self) -> float:
+        """ApproxIoT's throughput gain over native execution."""
+        if self.native == 0:
+            return float("inf")
+        return self.approxiot / self.native
+
+
+def run_fig6(
+    fractions: list[float] | None = None,
+    scale: ExperimentScale | None = None,
+    *,
+    n_windows: int = 12,
+) -> list[Fig6Point]:
+    """Reproduce Fig. 6 at a saturating offered load."""
+    fractions = fractions if fractions is not None else FIG6_FRACTIONS
+    scale = scale if scale is not None else ExperimentScale.bench()
+    generators = gaussian_generators()
+    schedule = uniform_schedule(scale.rate_scale)
+    placement = saturating_placement(schedule)
+
+    def throughput(mode: str, fraction: float) -> float:
+        config = PipelineConfig(
+            sampling_fraction=fraction,
+            window_seconds=1.0,
+            mode=mode,
+            placement=placement,
+            seed=scale.seed,
+        )
+        simulator = DeploymentSimulator(
+            config, schedule, generators, n_windows=n_windows
+        )
+        return simulator.run().throughput_items_per_second
+
+    native = throughput(ExecutionMode.NATIVE, 1.0)
+    points: list[Fig6Point] = []
+    for fraction in fractions:
+        points.append(
+            Fig6Point(
+                fraction=fraction,
+                approxiot=throughput(ExecutionMode.APPROXIOT, fraction),
+                srs=throughput(ExecutionMode.SRS, fraction),
+                native=native,
+            )
+        )
+    return points
+
+
+def main(scale: ExperimentScale | None = None) -> str:
+    """Print the Fig. 6 table; return the text."""
+    table = Table(
+        "Fig. 6: throughput vs sampling fraction (saturating input)",
+        ["fraction", "ApproxIoT", "SRS", "Native", "speedup"],
+    )
+    for point in run_fig6(scale=scale):
+        table.add_row(
+            f"{point.fraction:.0%}",
+            format_rate(point.approxiot),
+            format_rate(point.srs),
+            format_rate(point.native),
+            f"{point.speedup_over_native:.1f}x",
+        )
+    text = table.render()
+    print(text)
+    return text
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,105 @@
+"""Figure 8 — end-to-end latency vs sampling fraction (1 s window).
+
+The paper's result: under a saturating input, native execution's
+latency balloons (its datacenter queue grows without bound) while both
+sampled systems stay low; at the 10 % fraction ApproxIoT achieves a
+~6× speedup over native.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.base import (
+    ExperimentScale,
+    gaussian_generators,
+    saturating_placement,
+    uniform_schedule,
+)
+from repro.metrics.report import Table
+from repro.system.config import ExecutionMode, PipelineConfig
+from repro.system.deployment import DeploymentSimulator
+
+__all__ = ["Fig8Point", "run_fig8", "main"]
+
+FIG8_FRACTIONS: list[float] = [0.1, 0.2, 0.4, 0.6, 0.8, 1.0]
+
+
+@dataclass(frozen=True, slots=True)
+class Fig8Point:
+    """Mean latency of the three systems at one sampling fraction."""
+
+    fraction: float
+    approxiot: float
+    srs: float
+    native: float
+
+    @property
+    def speedup_over_native(self) -> float:
+        """Native latency divided by ApproxIoT latency."""
+        if self.approxiot == 0:
+            return float("inf")
+        return self.native / self.approxiot
+
+
+def run_fig8(
+    fractions: list[float] | None = None,
+    scale: ExperimentScale | None = None,
+    *,
+    n_windows: int = 12,
+) -> list[Fig8Point]:
+    """Reproduce Fig. 8 at a saturating offered load."""
+    fractions = fractions if fractions is not None else FIG8_FRACTIONS
+    scale = scale if scale is not None else ExperimentScale.bench()
+    generators = gaussian_generators()
+    schedule = uniform_schedule(scale.rate_scale)
+    placement = saturating_placement(schedule)
+
+    def latency(mode: str, fraction: float) -> float:
+        config = PipelineConfig(
+            sampling_fraction=fraction,
+            window_seconds=1.0,
+            mode=mode,
+            placement=placement,
+            seed=scale.seed,
+        )
+        simulator = DeploymentSimulator(
+            config, schedule, generators, n_windows=n_windows
+        )
+        return simulator.run().mean_latency_seconds
+
+    native = latency(ExecutionMode.NATIVE, 1.0)
+    points: list[Fig8Point] = []
+    for fraction in fractions:
+        points.append(
+            Fig8Point(
+                fraction=fraction,
+                approxiot=latency(ExecutionMode.APPROXIOT, fraction),
+                srs=latency(ExecutionMode.SRS, fraction),
+                native=native,
+            )
+        )
+    return points
+
+
+def main(scale: ExperimentScale | None = None) -> str:
+    """Print the Fig. 8 table; return the text."""
+    table = Table(
+        "Fig. 8: latency vs sampling fraction (1 s window)",
+        ["fraction", "ApproxIoT (s)", "SRS (s)", "Native (s)", "speedup"],
+    )
+    for point in run_fig8(scale=scale):
+        table.add_row(
+            f"{point.fraction:.0%}",
+            f"{point.approxiot:.2f}",
+            f"{point.srs:.2f}",
+            f"{point.native:.2f}",
+            f"{point.speedup_over_native:.1f}x",
+        )
+    text = table.render()
+    print(text)
+    return text
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

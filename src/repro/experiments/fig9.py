@@ -1,0 +1,95 @@
+"""Figure 9 — latency vs window size (10 % sampling fraction).
+
+The paper's result: ApproxIoT's latency grows with the window size
+because every sampling node must buffer a full interval before its
+reservoir can close, while the SRS system samples per item and its
+latency stays flat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.base import (
+    ExperimentScale,
+    gaussian_generators,
+    saturating_placement,
+    uniform_schedule,
+)
+from repro.metrics.report import Table
+from repro.system.config import ExecutionMode, PipelineConfig
+from repro.system.deployment import DeploymentSimulator
+
+__all__ = ["Fig9Point", "run_fig9", "main"]
+
+#: The paper's window sweep (seconds).
+FIG9_WINDOWS: list[float] = [0.5, 1.0, 2.0, 3.0, 4.0]
+
+
+@dataclass(frozen=True, slots=True)
+class Fig9Point:
+    """Latency of both sampled systems at one window size."""
+
+    window_seconds: float
+    approxiot: float
+    srs: float
+
+
+def run_fig9(
+    windows: list[float] | None = None,
+    scale: ExperimentScale | None = None,
+    *,
+    fraction: float = 0.1,
+    n_windows: int = 10,
+) -> list[Fig9Point]:
+    """Reproduce Fig. 9 at a fixed 10 % sampling fraction."""
+    window_sizes = windows if windows is not None else FIG9_WINDOWS
+    scale = scale if scale is not None else ExperimentScale.bench()
+    generators = gaussian_generators()
+    schedule = uniform_schedule(scale.rate_scale)
+    placement = saturating_placement(schedule)
+
+    def latency(mode: str, window_seconds: float) -> float:
+        config = PipelineConfig(
+            sampling_fraction=fraction,
+            window_seconds=window_seconds,
+            mode=mode,
+            placement=placement,
+            seed=scale.seed,
+        )
+        simulator = DeploymentSimulator(
+            config, schedule, generators, n_windows=n_windows
+        )
+        return simulator.run().mean_latency_seconds
+
+    points: list[Fig9Point] = []
+    for window_seconds in window_sizes:
+        points.append(
+            Fig9Point(
+                window_seconds=window_seconds,
+                approxiot=latency(ExecutionMode.APPROXIOT, window_seconds),
+                srs=latency(ExecutionMode.SRS, window_seconds),
+            )
+        )
+    return points
+
+
+def main(scale: ExperimentScale | None = None) -> str:
+    """Print the Fig. 9 table; return the text."""
+    table = Table(
+        "Fig. 9: latency vs window size (10% sampling fraction)",
+        ["window (s)", "ApproxIoT (s)", "SRS (s)"],
+    )
+    for point in run_fig9(scale=scale):
+        table.add_row(
+            f"{point.window_seconds:g}",
+            f"{point.approxiot:.2f}",
+            f"{point.srs:.2f}",
+        )
+    text = table.render()
+    print(text)
+    return text
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

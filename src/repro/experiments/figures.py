@@ -1,0 +1,51 @@
+"""Registry mapping every paper figure to its experiment entry point.
+
+Run everything with::
+
+    python -m repro.experiments.figures
+
+or individual figures via ``repro.experiments.figN.main()``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ReproError
+from repro.experiments import fig5, fig6, fig7, fig8, fig9, fig10, fig11
+from repro.experiments.base import ExperimentScale
+
+__all__ = ["FIGURES", "run_figure", "run_all"]
+
+#: Figure id -> (description, entry point).
+FIGURES: dict[str, tuple[str, Callable[..., str]]] = {
+    "fig5": ("Accuracy loss vs sampling fraction (Gaussian/Poisson)", fig5.main),
+    "fig6": ("Throughput vs sampling fraction", fig6.main),
+    "fig7": ("Bandwidth saving vs sampling fraction", fig7.main),
+    "fig8": ("Latency vs sampling fraction", fig8.main),
+    "fig9": ("Latency vs window size", fig9.main),
+    "fig10": ("Accuracy under fluctuating rates and skew", fig10.main),
+    "fig11": ("Real-world case studies (taxi, pollution)", fig11.main),
+}
+
+
+def run_figure(figure_id: str, scale: ExperimentScale | None = None) -> str:
+    """Run one figure's experiment by id."""
+    try:
+        _description, entry = FIGURES[figure_id]
+    except KeyError:
+        raise ReproError(
+            f"unknown figure {figure_id!r}; choose from {sorted(FIGURES)}"
+        ) from None
+    return entry(scale)
+
+
+def run_all(scale: ExperimentScale | None = None) -> dict[str, str]:
+    """Run every figure; return the rendered tables by id."""
+    return {
+        figure_id: run_figure(figure_id, scale) for figure_id in FIGURES
+    }
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run_all()

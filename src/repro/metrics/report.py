@@ -1,0 +1,71 @@
+"""Plain-text experiment report tables.
+
+Every experiment prints its results as an aligned table with the same
+rows/series the paper's figure reports, so a run of the benchmark
+harness reads like the evaluation section.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ReproError
+
+__all__ = ["Table", "format_rate", "format_percent"]
+
+
+def format_percent(value: float, digits: int = 4) -> str:
+    """Render a percentage with fixed precision."""
+    return f"{value:.{digits}f}%"
+
+
+def format_rate(items_per_second: float) -> str:
+    """Render a throughput in the paper's items/s style."""
+    if items_per_second >= 1000:
+        return f"{items_per_second / 1000:.1f}k items/s"
+    return f"{items_per_second:.0f} items/s"
+
+
+class Table:
+    """A minimal aligned-column table builder."""
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        if not columns:
+            raise ReproError("a table needs at least one column")
+        self.title = title
+        self._columns = list(columns)
+        self._rows: list[list[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        """Append one row (cells are stringified)."""
+        if len(cells) != len(self._columns):
+            raise ReproError(
+                f"expected {len(self._columns)} cells, got {len(cells)}"
+            )
+        self._rows.append([str(cell) for cell in cells])
+
+    @property
+    def row_count(self) -> int:
+        """Number of data rows added so far."""
+        return len(self._rows)
+
+    def render(self) -> str:
+        """Render the table as aligned text."""
+        widths = [len(col) for col in self._columns]
+        for row in self._rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(
+            col.ljust(widths[i]) for i, col in enumerate(self._columns)
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self._rows:
+            lines.append(
+                "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

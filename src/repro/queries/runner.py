@@ -1,0 +1,75 @@
+"""``runJob``: execute a query as a data-parallel job over Theta.
+
+Algorithm 2 line 22 runs the query "as a data-parallel job". Our
+in-process analogue partitions the Theta store by sub-stream, evaluates
+partial aggregates per partition, and merges — the same split/merge
+structure a MapReduce-style engine would execute, so tests can verify
+the parallel decomposition agrees with the direct computation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.core.error_bounds import ApproximateResult
+from repro.core.estimator import ThetaStore
+from repro.errors import EstimationError
+from repro.queries.query import LinearQuery
+
+__all__ = ["run_job", "partition_theta"]
+
+
+def partition_theta(theta: ThetaStore, partitions: int) -> list[ThetaStore]:
+    """Split a store into per-partition stores by sub-stream hash.
+
+    Batches of one sub-stream always land in the same partition, so a
+    partial estimator sees complete strata (required for the variance
+    formulas to remain valid per partition).
+    """
+    if partitions <= 0:
+        raise EstimationError(f"partitions must be >= 1, got {partitions}")
+    shards = [ThetaStore() for _ in range(partitions)]
+    for batch in theta.batches:
+        digest = hashlib.md5(batch.substream.encode()).digest()
+        index = int.from_bytes(digest[:8], "big") % partitions
+        shards[index].add(batch)
+    return shards
+
+
+def run_job(
+    query: LinearQuery, theta: ThetaStore, partitions: int = 4
+) -> ApproximateResult:
+    """Execute a query over Theta with split/merge parallel structure.
+
+    SUM-like queries merge by summing partial values and variances
+    (strata are independent). Queries that are not decomposable this
+    way (MEAN) are executed directly over the full store — the merge
+    step for ratio estimators needs the global counts anyway.
+    """
+    if query.name in ("sum", "per-substream-sum", "count"):
+        shards = [s for s in partition_theta(theta, partitions) if len(s) > 0]
+        if not shards:
+            raise EstimationError("cannot run a job over an empty store")
+        partials = [query.execute(shard) for shard in shards]
+        value = sum(p.value for p in partials)
+        variance = sum(p.variance for p in partials)
+        sampled = sum(p.sampled_items for p in partials)
+        # Recover the sigma multiplier from any partial (same confidence).
+        reference = partials[0]
+        multiplier = (
+            reference.error / reference.variance ** 0.5
+            if reference.variance > 0
+            else 0.0
+        )
+        if multiplier == 0.0:
+            # All partials had zero variance; try to find a nonzero one.
+            for partial in partials:
+                if partial.variance > 0:
+                    multiplier = partial.error / partial.variance ** 0.5
+                    break
+        error = multiplier * variance ** 0.5
+        return ApproximateResult(
+            value=value, error=error, confidence=query.confidence,
+            variance=variance, sampled_items=sampled,
+        )
+    return query.execute(theta)

@@ -1,0 +1,92 @@
+"""Measurement helpers over the simulated network.
+
+Collects the quantities the paper's evaluation reports: per-link and
+total bytes (bandwidth saving, Fig. 7), host utilization, and latency
+percentiles over recorded end-to-end samples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.simnet.network import Network
+
+__all__ = ["LatencyRecorder", "bandwidth_saving", "network_snapshot"]
+
+
+@dataclass(slots=True)
+class LatencyRecorder:
+    """Accumulates end-to-end latency samples (seconds)."""
+
+    samples: list[float] = field(default_factory=list)
+
+    def record(self, emitted_at: float, delivered_at: float) -> None:
+        """Record one item's source-to-result latency."""
+        if delivered_at < emitted_at:
+            raise SimulationError(
+                f"delivery at {delivered_at} precedes emission at {emitted_at}"
+            )
+        self.samples.append(delivered_at - emitted_at)
+
+    @property
+    def count(self) -> int:
+        """Number of samples recorded."""
+        return len(self.samples)
+
+    def mean(self) -> float:
+        """Mean latency; raises if empty."""
+        if not self.samples:
+            raise SimulationError("no latency samples recorded")
+        return sum(self.samples) / len(self.samples)
+
+    def percentile(self, q: float) -> float:
+        """Latency percentile ``q`` in [0, 100] (nearest-rank)."""
+        if not self.samples:
+            raise SimulationError("no latency samples recorded")
+        if not 0.0 <= q <= 100.0:
+            raise SimulationError(f"percentile must be in [0, 100], got {q}")
+        ordered = sorted(self.samples)
+        rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    def max(self) -> float:
+        """Largest latency observed."""
+        if not self.samples:
+            raise SimulationError("no latency samples recorded")
+        return max(self.samples)
+
+
+def bandwidth_saving(sampled_bytes: int, native_bytes: int) -> float:
+    """Bandwidth-saving rate (%) of a sampled run against native.
+
+    The paper's Fig. 7 metric: the fraction of native traffic avoided.
+    """
+    if native_bytes <= 0:
+        raise SimulationError(
+            f"native byte count must be positive, got {native_bytes}"
+        )
+    if sampled_bytes < 0:
+        raise SimulationError(
+            f"sampled byte count must be >= 0, got {sampled_bytes}"
+        )
+    return max(0.0, 100.0 * (1.0 - sampled_bytes / native_bytes))
+
+
+def network_snapshot(network: Network) -> dict[str, dict[str, float]]:
+    """Summarise a network's counters per link and host."""
+    snapshot: dict[str, dict[str, float]] = {"links": {}, "hosts": {}}
+    for link in network.links:
+        snapshot["links"][link.name] = {
+            "bytes": float(link.bytes_sent),
+            "messages": float(link.messages_sent),
+            "queueing_delay": link.total_queueing_delay,
+        }
+    for name in network.hosts:
+        host = network.host(name)
+        snapshot["hosts"][name] = {
+            "items": float(host.items_processed),
+            "busy_time": host.busy_time,
+        }
+    return snapshot

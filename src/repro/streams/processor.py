@@ -1,0 +1,101 @@
+"""Low-level Processor API (the Kafka Streams model).
+
+A *processor* receives keyed records one at a time, may keep state, and
+forwards zero or more records to its downstream children through a
+:class:`ProcessorContext`. The paper implements its sampling module as
+exactly such a user-defined processor; `repro.system` plugs the
+weighted-hierarchical-sampling processor into this API.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import TopologyError
+
+__all__ = ["Processor", "ProcessorContext", "FunctionProcessor"]
+
+
+class ProcessorContext:
+    """Runtime services handed to a processor: forwarding, time, state."""
+
+    def __init__(self, node_name: str) -> None:
+        self.node_name = node_name
+        self._children: list[Processor] = []
+        self._stores: dict[str, Any] = {}
+        self.stream_time = 0.0
+
+    def add_child(self, child: "Processor") -> None:
+        """Wire a downstream processor (topology construction only)."""
+        self._children.append(child)
+
+    def forward(self, key: Any, value: Any) -> None:
+        """Send a record to every downstream child.
+
+        Stream time rides along with the record so windowed processors
+        deeper in the DAG assign it to the right window.
+        """
+        for child in self._children:
+            child.context.stream_time = self.stream_time
+            child.process(key, value)
+
+    def register_store(self, name: str, store: Any) -> None:
+        """Attach a state store to this node."""
+        if name in self._stores:
+            raise TopologyError(f"store {name!r} already registered")
+        self._stores[name] = store
+
+    def store(self, name: str) -> Any:
+        """Access a registered state store."""
+        try:
+            return self._stores[name]
+        except KeyError:
+            raise TopologyError(
+                f"processor {self.node_name!r} has no store {name!r}"
+            ) from None
+
+
+class Processor:
+    """Base class for stream processors.
+
+    Subclasses override :meth:`process`; :meth:`init` runs once when the
+    topology starts and :meth:`close` when it stops (punctuation-style
+    periodic work is driven by the runtime calling :meth:`punctuate`).
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.context: ProcessorContext = ProcessorContext(name)
+
+    def init(self) -> None:
+        """One-time setup before any record is processed."""
+
+    def process(self, key: Any, value: Any) -> None:
+        """Handle one record. Default: pass it through unchanged."""
+        self.context.forward(key, value)
+
+    def punctuate(self, stream_time: float) -> None:
+        """Periodic hook (window boundaries, flushes)."""
+
+    def close(self) -> None:
+        """Tear-down after the last record."""
+
+
+class FunctionProcessor(Processor):
+    """Adapter turning a plain callable into a processor.
+
+    The callable receives ``(key, value, context)`` and uses
+    ``context.forward`` to emit records, which covers map/filter/flatMap
+    patterns without dedicated subclasses.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        fn: Callable[[Any, Any, ProcessorContext], None],
+    ) -> None:
+        super().__init__(name)
+        self._fn = fn
+
+    def process(self, key: Any, value: Any) -> None:
+        self._fn(key, value, self.context)

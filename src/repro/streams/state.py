@@ -1,0 +1,90 @@
+"""State stores for stream processors.
+
+Two store types, mirroring Kafka Streams: a plain key-value store for
+aggregations, and a window store that scopes values to time windows and
+supports retention-based expiry.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.errors import StateStoreError
+
+__all__ = ["KeyValueStore", "WindowStore"]
+
+
+class KeyValueStore:
+    """An in-memory key-value store with simple iteration."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._data: dict[Any, Any] = {}
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Read a value (or default)."""
+        return self._data.get(key, default)
+
+    def put(self, key: Any, value: Any) -> None:
+        """Write a value."""
+        self._data[key] = value
+
+    def delete(self, key: Any) -> None:
+        """Remove a key; raises if absent."""
+        try:
+            del self._data[key]
+        except KeyError:
+            raise StateStoreError(
+                f"store {self.name!r} has no key {key!r}"
+            ) from None
+
+    def all(self) -> Iterator[tuple[Any, Any]]:
+        """Iterate over all entries."""
+        return iter(list(self._data.items()))
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._data
+
+
+class WindowStore:
+    """Values keyed by ``(key, window_start)`` with retention expiry."""
+
+    def __init__(self, name: str, retention: float) -> None:
+        if retention <= 0:
+            raise StateStoreError(
+                f"retention must be positive, got {retention}"
+            )
+        self.name = name
+        self.retention = float(retention)
+        self._data: dict[tuple[Any, float], Any] = {}
+
+    def put(self, key: Any, window_start: float, value: Any) -> None:
+        """Write a value into one window of one key."""
+        self._data[(key, window_start)] = value
+
+    def get(self, key: Any, window_start: float, default: Any = None) -> Any:
+        """Read a window's value for a key."""
+        return self._data.get((key, window_start), default)
+
+    def windows_for(self, key: Any) -> list[tuple[float, Any]]:
+        """All (window_start, value) pairs of a key, oldest first."""
+        out = [
+            (window_start, value)
+            for (k, window_start), value in self._data.items()
+            if k == key
+        ]
+        return sorted(out)
+
+    def expire_before(self, stream_time: float) -> int:
+        """Drop windows older than the retention horizon; return count."""
+        horizon = stream_time - self.retention
+        stale = [kw for kw in self._data if kw[1] < horizon]
+        for kw in stale:
+            del self._data[kw]
+        return len(stale)
+
+    def __len__(self) -> int:
+        return len(self._data)

@@ -1,0 +1,71 @@
+"""Window definitions for stream aggregation.
+
+Tumbling windows (the paper's per-interval computation: "the entire
+process repeats for each time interval as the computation window
+slides") and hopping/sliding windows for the more general DSL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["TumblingWindow", "HoppingWindow", "window_start"]
+
+
+@dataclass(frozen=True, slots=True)
+class TumblingWindow:
+    """Fixed, non-overlapping windows of ``size`` seconds."""
+
+    size: float
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ConfigurationError(f"window size must be positive, got {self.size}")
+
+    def window_for(self, timestamp: float) -> tuple[float, float]:
+        """The [start, end) window containing a timestamp."""
+        start = (timestamp // self.size) * self.size
+        return (start, start + self.size)
+
+    def windows_for(self, timestamp: float) -> list[tuple[float, float]]:
+        """Tumbling windows never overlap: exactly one window matches."""
+        return [self.window_for(timestamp)]
+
+
+@dataclass(frozen=True, slots=True)
+class HoppingWindow:
+    """Overlapping windows of ``size`` seconds advancing by ``hop``."""
+
+    size: float
+    hop: float
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ConfigurationError(f"window size must be positive, got {self.size}")
+        if not 0 < self.hop <= self.size:
+            raise ConfigurationError(
+                f"hop must be in (0, size], got hop={self.hop} size={self.size}"
+            )
+
+    def windows_for(self, timestamp: float) -> list[tuple[float, float]]:
+        """All [start, end) windows containing a timestamp."""
+        latest_start = (timestamp // self.hop) * self.hop
+        windows: list[tuple[float, float]] = []
+        start = latest_start
+        while start + self.size > timestamp and start >= 0:
+            if start <= timestamp:
+                windows.append((start, start + self.size))
+            start -= self.hop
+        # Handle windows straddling zero for small timestamps.
+        if not windows and timestamp >= 0:
+            windows.append((0.0, self.size))
+        return sorted(windows)
+
+
+def window_start(timestamp: float, size: float) -> float:
+    """Start of the tumbling window of width ``size`` containing ``timestamp``."""
+    if size <= 0:
+        raise ConfigurationError(f"window size must be positive, got {size}")
+    return (timestamp // size) * size

@@ -1,0 +1,36 @@
+"""System assembly: configs, runners and the adaptive feedback loop.
+
+Two execution engines share one configuration surface:
+
+* :class:`~repro.system.statistical.StatisticalRunner` runs the
+  sampling tree algorithmically for the accuracy experiments;
+* :class:`~repro.system.deployment.DeploymentSimulator` runs the whole
+  deployment (broker + WAN + finite hosts) for the throughput, latency
+  and bandwidth experiments.
+"""
+
+from repro.system.config import ExecutionMode, PipelineConfig
+from repro.system.deployment import DeploymentReport, DeploymentSimulator
+from repro.system.feedback import FeedbackDriver, FeedbackOutcome
+from repro.system.statistical import (
+    RunOutcome,
+    StatisticalRunner,
+    WindowOutcome,
+    accuracy_loss,
+)
+from repro.system.windowed import WindowedRoot, WindowResult
+
+__all__ = [
+    "DeploymentReport",
+    "DeploymentSimulator",
+    "ExecutionMode",
+    "FeedbackDriver",
+    "FeedbackOutcome",
+    "PipelineConfig",
+    "RunOutcome",
+    "StatisticalRunner",
+    "WindowOutcome",
+    "WindowResult",
+    "WindowedRoot",
+    "accuracy_loss",
+]

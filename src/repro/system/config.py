@@ -1,0 +1,95 @@
+"""Configuration objects for assembled pipelines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.stratified import AllocationPolicy, allocate_fair_fill
+from repro.errors import ConfigurationError
+from repro.topology.placement import PlacementSpec
+from repro.topology.tree import LogicalTree, paper_tree
+
+__all__ = ["PipelineConfig", "ExecutionMode"]
+
+
+class ExecutionMode:
+    """The three systems the paper compares (§V-A Methodology)."""
+
+    APPROXIOT = "approxiot"
+    SRS = "srs"
+    NATIVE = "native"
+
+    ALL = (APPROXIOT, SRS, NATIVE)
+
+
+@dataclass
+class PipelineConfig:
+    """Shared knobs for both the statistical and deployment runners.
+
+    Attributes:
+        sampling_fraction: End-to-end fraction of the stream that
+            reaches the query (the paper's x-axis in Figs. 5-8, 10-11).
+        window_seconds: The computation window / interval length.
+        mode: One of :class:`ExecutionMode` — which system to run.
+        tree: The logical tree (defaults to the paper's 4-layer tree).
+        placement: Host/link provisioning for deployment simulation.
+        allocation_policy: ``getSampleSize`` policy for WHSamp.
+        confidence: Confidence level for reported error bounds.
+        seed: Seed for all randomness in a run.
+    """
+
+    sampling_fraction: float = 0.1
+    window_seconds: float = 1.0
+    mode: str = ExecutionMode.APPROXIOT
+    tree: LogicalTree = field(default_factory=paper_tree)
+    placement: PlacementSpec = field(
+        default_factory=PlacementSpec.paper_defaults
+    )
+    allocation_policy: AllocationPolicy = allocate_fair_fill
+    confidence: float = 0.95
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.sampling_fraction <= 1.0:
+            raise ConfigurationError(
+                f"sampling fraction must be in (0, 1], got "
+                f"{self.sampling_fraction}"
+            )
+        if self.window_seconds <= 0:
+            raise ConfigurationError(
+                f"window must be positive, got {self.window_seconds}"
+            )
+        if self.mode not in ExecutionMode.ALL:
+            raise ConfigurationError(
+                f"mode must be one of {ExecutionMode.ALL}, got {self.mode!r}"
+            )
+        if not 0.0 < self.confidence < 1.0:
+            raise ConfigurationError(
+                f"confidence must be in (0, 1), got {self.confidence}"
+            )
+
+    def with_mode(self, mode: str) -> "PipelineConfig":
+        """A copy of this config running a different system."""
+        return PipelineConfig(
+            sampling_fraction=self.sampling_fraction,
+            window_seconds=self.window_seconds,
+            mode=mode,
+            tree=self.tree,
+            placement=self.placement,
+            allocation_policy=self.allocation_policy,
+            confidence=self.confidence,
+            seed=self.seed,
+        )
+
+    def with_fraction(self, fraction: float) -> "PipelineConfig":
+        """A copy of this config at a different sampling fraction."""
+        return PipelineConfig(
+            sampling_fraction=fraction,
+            window_seconds=self.window_seconds,
+            mode=self.mode,
+            tree=self.tree,
+            placement=self.placement,
+            allocation_policy=self.allocation_policy,
+            confidence=self.confidence,
+            seed=self.seed,
+        )

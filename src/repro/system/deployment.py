@@ -1,0 +1,407 @@
+"""Deployment simulator — throughput / latency / bandwidth experiments.
+
+Runs the assembled system on the discrete-event substrate: sources emit
+per-window batches, batches cross simulated WAN links (propagation +
+serialization + FIFO queueing) into per-node broker topics, sampling
+nodes poll their topics on their own interval clocks, spend simulated
+CPU proportional to the items they ingest, and forward sampled
+sub-streams upward until the root processes them.
+
+Three modes (§V-A Methodology):
+
+* ``approxiot`` — windowed weighted hierarchical sampling at every
+  sampling node; batches move through the broker substrate.
+* ``srs`` — coin-flip sampling at the first edge layer, processed
+  per-delivery (no windows: this is why SRS latency is flat in Fig. 9).
+* ``native`` — everything forwarded unsampled; the datacenter node
+  saturates, which is what Figs. 6 and 8 measure.
+
+This is the engine behind Figs. 6, 7, 8, 9 and 11(b).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.broker.broker import Broker
+from repro.broker.consumer import Consumer
+from repro.broker.records import Record
+from repro.core.cost import FractionBudget
+from repro.core.items import StreamItem, WeightedBatch
+from repro.core.srs import CoinFlipSampler
+from repro.core.whs import whsamp_batches
+from repro.errors import PipelineError
+from repro.simnet.stats import LatencyRecorder
+from repro.system.config import ExecutionMode, PipelineConfig
+from repro.topology.placement import place_tree
+from repro.topology.tree import TreeNode
+from repro.workloads.rates import RateSchedule
+from repro.workloads.source import ItemGenerator, Source
+
+__all__ = ["DeploymentReport", "DeploymentSimulator"]
+
+
+@dataclass(frozen=True, slots=True)
+class DeploymentReport:
+    """Measured outcome of one simulated deployment run.
+
+    Attributes:
+        mode: Which system ran.
+        sampling_fraction: Configured end-to-end fraction.
+        window_seconds: The interval/window length used.
+        items_emitted: Ground-truth item count from all sources.
+        items_at_root: Items the root physically processed (post-
+            sampling ingest for approxiot/srs; everything for native).
+        makespan_seconds: Virtual time until the root finished its last
+            batch.
+        throughput_items_per_second: ``items_emitted / makespan`` — the
+            sustained rate, which collapses when the bottleneck
+            saturates (the paper's Fig. 6 metric).
+        mean_latency_seconds: Mean source-to-root-processing latency.
+        boundary_bytes: Bytes crossing each layer boundary
+            (source→L1, L1→L2, L2→root for the paper tree).
+    """
+
+    mode: str
+    sampling_fraction: float
+    window_seconds: float
+    items_emitted: int
+    items_at_root: int
+    makespan_seconds: float
+    throughput_items_per_second: float
+    mean_latency_seconds: float
+    boundary_bytes: list[int]
+
+    @property
+    def realized_fraction(self) -> float:
+        """Fraction of emitted items that reached the root."""
+        if self.items_emitted == 0:
+            raise PipelineError("run emitted no items")
+        return self.items_at_root / self.items_emitted
+
+
+class _ApproxIoTNodeState:
+    """Per-node runtime state for the windowed sampling mode."""
+
+    def __init__(self, node: TreeNode, budget: int, consumer: Consumer) -> None:
+        self.node = node
+        self.budget = budget
+        self.consumer = consumer
+        self.items_ingested = 0
+
+
+class DeploymentSimulator:
+    """One simulated run of one mode at one sampling fraction."""
+
+    def __init__(
+        self,
+        config: PipelineConfig,
+        schedule: RateSchedule,
+        generators: dict[str, ItemGenerator],
+        *,
+        n_windows: int = 10,
+    ) -> None:
+        if n_windows <= 0:
+            raise PipelineError(f"n_windows must be >= 1, got {n_windows}")
+        self._config = config
+        self._schedule = schedule
+        self._n_windows = n_windows
+        self._tree = config.tree
+        self._rng = random.Random(config.seed)
+        self._network = place_tree(self._tree, config.placement)
+        self._clock = self._network.clock
+        self._broker = Broker("deployment")
+        self._latency = LatencyRecorder()
+        self._items_emitted = 0
+        self._items_at_root = 0
+        self._root_last_completion = 0.0
+        self._sources = self._build_sources(schedule, generators)
+        self._states: dict[str, _ApproxIoTNodeState] = {}
+        if config.mode == ExecutionMode.APPROXIOT:
+            self._setup_approxiot()
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def _build_sources(
+        self, schedule: RateSchedule, generators: dict[str, ItemGenerator]
+    ) -> dict[str, Source]:
+        substreams = sorted(schedule.rates)
+        missing = [s for s in substreams if s not in generators]
+        if missing:
+            raise PipelineError(f"no generators for sub-streams: {missing}")
+        source_nodes = self._tree.sources
+        owners: dict[str, list[TreeNode]] = {s: [] for s in substreams}
+        for index, node in enumerate(source_nodes):
+            owners[substreams[index % len(substreams)]].append(node)
+        sources: dict[str, Source] = {}
+        for substream, nodes in owners.items():
+            if not nodes:
+                raise PipelineError(
+                    f"tree has fewer sources than sub-streams; "
+                    f"{substream!r} has no producer"
+                )
+            per_source_rate = schedule.rates[substream] / len(nodes)
+            for node in nodes:
+                sources[node.name] = Source(
+                    node.name,
+                    generators[substream],
+                    per_source_rate,
+                    rng=random.Random(self._rng.getrandbits(64)),
+                )
+        return sources
+
+    def _subtree_rate(self, node_name: str) -> float:
+        return sum(
+            self._sources[source.name].rate_per_second
+            for source in self._tree.sources
+            if node_name in self._tree.path_to_root(source.name)
+        )
+
+    def _setup_approxiot(self) -> None:
+        budget = FractionBudget(self._config.sampling_fraction)
+        for node in self._tree.sampling_nodes:
+            topic = self._topic(node.name)
+            self._broker.ensure_topic(topic)
+            consumer = Consumer(
+                self._broker,
+                group_id=f"group-{node.name}",
+                topics=[topic],
+                member_id=node.name,
+                max_poll_records=1_000_000,
+            )
+            expected = int(round(
+                self._subtree_rate(node.name) * self._config.window_seconds
+            ))
+            self._states[node.name] = _ApproxIoTNodeState(
+                node, budget.sample_size(expected), consumer
+            )
+
+    @staticmethod
+    def _topic(node_name: str) -> str:
+        return f"ingest-{node_name}"
+
+    # ------------------------------------------------------------------
+    # Run
+    # ------------------------------------------------------------------
+    #: Sources ship their buffered items at this granularity (seconds),
+    #: independent of the sampling window — real sources stream
+    #: continuously, so the source-side delay must not scale with the
+    #: window size (otherwise Fig. 9's flat SRS line would be an artifact).
+    EMISSION_GRANULARITY = 0.25
+
+    def run(self) -> DeploymentReport:
+        """Execute the full run and return the measured report."""
+        window = self._config.window_seconds
+        duration = self._n_windows * window
+        chunks = max(1, math.ceil(duration / self.EMISSION_GRANULARITY))
+        chunk = duration / chunks
+        for index in range(chunks):
+            for source_node in self._tree.sources:
+                self._clock.schedule_at(
+                    (index + 1) * chunk,
+                    self._emitter(source_node, index * chunk, chunk),
+                )
+        if self._config.mode == ExecutionMode.APPROXIOT:
+            self._run_windowed()
+        else:
+            self._clock.run()
+        makespan = (
+            self._root_last_completion
+            if self._root_last_completion > 0
+            else self._clock.now
+        )
+        throughput = self._items_emitted / makespan if makespan > 0 else 0.0
+        mean_latency = (
+            self._latency.mean() if self._latency.count > 0 else 0.0
+        )
+        return DeploymentReport(
+            mode=self._config.mode,
+            sampling_fraction=self._config.sampling_fraction,
+            window_seconds=window,
+            items_emitted=self._items_emitted,
+            items_at_root=self._items_at_root,
+            makespan_seconds=makespan,
+            throughput_items_per_second=throughput,
+            mean_latency_seconds=mean_latency,
+            boundary_bytes=self._boundary_bytes(),
+        )
+
+    def _run_windowed(self) -> None:
+        """Drive ApproxIoT interval closes until every record is drained."""
+        window = self._config.window_seconds
+        rounds = self._n_windows + self._tree.depth + 2
+        for k in range(1, rounds + 1):
+            for node in self._tree.sampling_nodes:
+                self._clock.schedule_at(
+                    k * window, self._closer(node.name)
+                )
+        self._clock.run()
+        # Saturated runs may still have unpolled records: keep closing.
+        guard = 0
+        while self._has_lag():
+            guard += 1
+            if guard > 10_000:
+                raise PipelineError("drain loop did not converge")
+            for node in self._tree.sampling_nodes:
+                self._clock.schedule(window, self._closer(node.name))
+            self._clock.run()
+
+    def _has_lag(self) -> bool:
+        for state in self._states.values():
+            topic = self._topic(state.node.name)
+            for partition, end in self._broker.end_offsets(topic).items():
+                if state.consumer.position(topic, partition) < end:
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def _emitter(
+        self, source_node: TreeNode, chunk_start: float, chunk_seconds: float
+    ):
+        def emit() -> None:
+            batch = self._sources[source_node.name].emit_interval(
+                chunk_start, chunk_seconds
+            )
+            if not batch:
+                return
+            self._items_emitted += len(batch)
+            assert source_node.parent is not None
+            self._send_items(source_node.name, source_node.parent, batch, 1.0)
+        return emit
+
+    def _send_items(
+        self,
+        src: str,
+        dst: str,
+        items: list[StreamItem],
+        weight: float,
+    ) -> None:
+        """Ship items over the src→dst link, splitting per sub-stream."""
+        by_substream: dict[str, list[StreamItem]] = {}
+        for item in items:
+            by_substream.setdefault(item.substream, []).append(item)
+        for substream, sub_items in by_substream.items():
+            batch = WeightedBatch(substream, weight, sub_items)
+            self._network.send(
+                src, dst, batch.total_bytes, batch, self._receiver(dst)
+            )
+
+    def _send_batch(self, src: str, dst: str, batch: WeightedBatch) -> None:
+        self._network.send(
+            src, dst, batch.total_bytes, batch, self._receiver(dst)
+        )
+
+    # ------------------------------------------------------------------
+    # Reception and processing
+    # ------------------------------------------------------------------
+    def _receiver(self, node_name: str) -> Callable[[WeightedBatch], None]:
+        mode = self._config.mode
+        if mode == ExecutionMode.APPROXIOT:
+            def deliver_to_topic(batch: WeightedBatch) -> None:
+                self._broker.produce(
+                    self._topic(node_name),
+                    Record(key=batch.substream, value=batch,
+                           timestamp=self._clock.now),
+                )
+            return deliver_to_topic
+
+        def deliver_direct(batch: WeightedBatch) -> None:
+            host = self._network.host(node_name)
+            host.process(
+                len(batch), batch,
+                lambda b: self._finish_streaming(node_name, b),
+            )
+        return deliver_direct
+
+    def _closer(self, node_name: str) -> Callable[[], None]:
+        def close() -> None:
+            state = self._states[node_name]
+            records = state.consumer.poll()
+            if not records:
+                return
+            batches = [record.value for record in records]
+            count = sum(len(batch) for batch in batches)
+            state.items_ingested += count
+            host = self._network.host(node_name)
+            host.process(
+                count, batches,
+                lambda bs: self._finish_windowed(node_name, bs),
+            )
+        return close
+
+    def _finish_windowed(
+        self, node_name: str, batches: list[WeightedBatch]
+    ) -> None:
+        """Service completed for one ApproxIoT interval: sample, forward."""
+        state = self._states[node_name]
+        ingested = sum(len(batch) for batch in batches)
+        if ingested == 0:
+            return
+        result = whsamp_batches(
+            batches,
+            state.budget,
+            policy=self._config.allocation_policy,
+            rng=self._rng,
+        )
+        if state.node.name == "root":
+            now = self._clock.now
+            self._items_at_root += ingested
+            self._root_last_completion = max(self._root_last_completion, now)
+            for batch in result.batches:
+                for item in batch.items:
+                    self._latency.record(item.emitted_at, now)
+        else:
+            assert state.node.parent is not None
+            for batch in result.batches:
+                self._send_batch(state.node.name, state.node.parent, batch)
+
+    def _finish_streaming(self, node_name: str, batch: WeightedBatch) -> None:
+        """Service completed for one SRS/native delivery."""
+        node = self._tree.node(node_name)
+        now = self._clock.now
+        if node.name == "root":
+            self._items_at_root += len(batch)
+            self._root_last_completion = max(self._root_last_completion, now)
+            for item in batch.items:
+                self._latency.record(item.emitted_at, now)
+            return
+        items = batch.items
+        weight = batch.weight
+        if self._config.mode == ExecutionMode.SRS and node.layer == 1:
+            fraction = self._config.sampling_fraction
+            sampler = CoinFlipSampler(
+                fraction, random.Random(self._rng.getrandbits(64))
+            )
+            items = sampler.filter(items)
+            weight = batch.weight / fraction
+        if not items:
+            return
+        assert node.parent is not None
+        self._send_batch(
+            node.name, node.parent, WeightedBatch(batch.substream, weight, items)
+        )
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def _boundary_bytes(self) -> list[int]:
+        """Bytes that crossed each layer boundary, bottom-up."""
+        totals: list[int] = []
+        for layer in range(self._tree.depth - 1):
+            total = 0
+            for node in self._tree.layer(layer):
+                assert node.parent is not None
+                total += self._network.link(node.name, node.parent).bytes_sent
+            totals.append(total)
+        return totals
+
+    @property
+    def latency_recorder(self) -> LatencyRecorder:
+        """Raw latency samples (for percentile reporting)."""
+        return self._latency

@@ -1,0 +1,84 @@
+"""Adaptive feedback driver (§IV-B's refinement loop).
+
+When a window's reported error bound exceeds the analyst's budget, the
+root refines the sampling parameters at all layers for subsequent runs.
+:class:`FeedbackDriver` wires the
+:class:`~repro.core.cost.AdaptiveErrorBudget` controller to the
+statistical runner: after each window the realized relative error bound
+is fed back and the next window runs at the adjusted fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.cost import AdaptiveErrorBudget
+from repro.errors import PipelineError
+from repro.system.config import PipelineConfig
+from repro.system.statistical import StatisticalRunner, WindowOutcome
+from repro.workloads.rates import RateSchedule
+from repro.workloads.source import ItemGenerator
+
+__all__ = ["FeedbackDriver", "FeedbackOutcome"]
+
+
+@dataclass
+class FeedbackOutcome:
+    """Trace of an adaptive run."""
+
+    windows: list[WindowOutcome] = field(default_factory=list)
+    fractions: list[float] = field(default_factory=list)
+    relative_errors: list[float] = field(default_factory=list)
+
+    @property
+    def final_fraction(self) -> float:
+        """The fraction the controller settled on."""
+        if not self.fractions:
+            raise PipelineError("adaptive run recorded no windows")
+        return self.fractions[-1]
+
+
+class FeedbackDriver:
+    """Runs windows, feeding each error bound back into the controller."""
+
+    def __init__(
+        self,
+        config: PipelineConfig,
+        schedule: RateSchedule,
+        generators: dict[str, ItemGenerator],
+        controller: AdaptiveErrorBudget,
+    ) -> None:
+        self._base_config = config
+        self._schedule = schedule
+        self._generators = generators
+        self._controller = controller
+
+    def run(self, windows: int) -> FeedbackOutcome:
+        """Run ``windows`` windows with per-window fraction refinement.
+
+        Each window is executed by a fresh statistical runner at the
+        controller's current fraction (sampling parameters refined "in
+        subsequent runs", per the paper); the realized relative error
+        bound of the SUM estimate drives the next adjustment.
+        """
+        if windows <= 0:
+            raise PipelineError(f"window count must be >= 1, got {windows}")
+        outcome = FeedbackOutcome()
+        for index in range(windows):
+            fraction = self._controller.fraction
+            config = self._base_config.with_fraction(fraction)
+            # Vary the seed per window so the adaptive trace is not a
+            # single replayed sample path.
+            config.seed = self._base_config.seed + index
+            runner = StatisticalRunner(config, self._schedule, self._generators)
+            window = runner.run_window()
+            relative_error = (
+                window.approx_sum.relative_error()
+                if window.approx_sum.value != 0
+                else 0.0
+            )
+            self._controller.observe(relative_error)
+            outcome.windows.append(window)
+            outcome.fractions.append(fraction)
+            outcome.relative_errors.append(relative_error)
+        return outcome

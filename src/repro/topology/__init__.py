@@ -1,0 +1,12 @@
+"""Logical tree topology and placement onto the simulated network."""
+
+from repro.topology.placement import PlacementSpec, place_tree
+from repro.topology.tree import LogicalTree, TreeNode, paper_tree
+
+__all__ = [
+    "LogicalTree",
+    "PlacementSpec",
+    "TreeNode",
+    "paper_tree",
+    "place_tree",
+]

@@ -1,0 +1,42 @@
+"""Workload generators for the evaluation.
+
+Synthetic Gaussian/Poisson sub-streams with the paper's exact
+parameterisations, the fluctuating-rate Settings 1-3, the extreme-skew
+mixture, and synthesizers for the two real-world case studies (NYC taxi
+rides in the DEBS 2015 schema, Brasov pollution sensors).
+"""
+
+from repro.workloads.pollution import (
+    POLLUTANTS,
+    PollutionReading,
+    PollutionTraceSynthesizer,
+)
+from repro.workloads.rates import RateSchedule, paper_rate_settings
+from repro.workloads.skew import SkewedMixture, paper_skewed_mixture
+from repro.workloads.source import Source, sources_from_schedule
+from repro.workloads.synthetic import (
+    GaussianSubstream,
+    PoissonSubstream,
+    paper_gaussian_substreams,
+    paper_poisson_substreams,
+)
+from repro.workloads.taxi import BOROUGHS, TaxiRide, TaxiTraceSynthesizer
+
+__all__ = [
+    "BOROUGHS",
+    "GaussianSubstream",
+    "POLLUTANTS",
+    "PoissonSubstream",
+    "PollutionReading",
+    "PollutionTraceSynthesizer",
+    "RateSchedule",
+    "SkewedMixture",
+    "Source",
+    "TaxiRide",
+    "TaxiTraceSynthesizer",
+    "paper_gaussian_substreams",
+    "paper_poisson_substreams",
+    "paper_rate_settings",
+    "paper_skewed_mixture",
+    "sources_from_schedule",
+]

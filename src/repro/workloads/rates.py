@@ -1,0 +1,88 @@
+"""Arrival-rate schedules, including the paper's Settings 1-3 (§V-D).
+
+A rate schedule maps each sub-stream to items/second. The fluctuating-
+rate experiment (Fig. 10(a)(b)) uses three settings over sub-streams
+A, B, C, D:
+
+* Setting1: (50k : 25k : 12.5k : 625)
+* Setting2: (25k : 25k : 25k : 25k)
+* Setting3: (625 : 12.5k : 25k : 50k)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import WorkloadError
+
+__all__ = ["RateSchedule", "paper_rate_settings"]
+
+
+@dataclass(frozen=True)
+class RateSchedule:
+    """Per-sub-stream arrival rates (items/second).
+
+    Attributes:
+        name: Human-readable label ("Setting1"...).
+        rates: Sub-stream name -> items per second.
+    """
+
+    name: str
+    rates: Mapping[str, float]
+
+    def __post_init__(self) -> None:
+        if not self.rates:
+            raise WorkloadError("rate schedule needs at least one sub-stream")
+        for substream, rate in self.rates.items():
+            if rate < 0:
+                raise WorkloadError(
+                    f"rate for {substream!r} must be >= 0, got {rate}"
+                )
+
+    @property
+    def total_rate(self) -> float:
+        """Aggregate items/second across sub-streams."""
+        return sum(self.rates.values())
+
+    def counts_for_interval(self, interval_seconds: float) -> dict[str, int]:
+        """Expected item counts per sub-stream over one interval."""
+        if interval_seconds <= 0:
+            raise WorkloadError(
+                f"interval must be positive, got {interval_seconds}"
+            )
+        return {
+            substream: int(round(rate * interval_seconds))
+            for substream, rate in self.rates.items()
+        }
+
+    def scaled(self, factor: float) -> "RateSchedule":
+        """A copy with every rate multiplied by ``factor``."""
+        if factor <= 0:
+            raise WorkloadError(f"scale factor must be positive, got {factor}")
+        return RateSchedule(
+            f"{self.name}x{factor:g}",
+            {substream: rate * factor for substream, rate in self.rates.items()},
+        )
+
+
+def paper_rate_settings(scale: float = 1.0) -> list[RateSchedule]:
+    """The three fluctuating-rate settings of §V-D.
+
+    ``scale`` shrinks the absolute rates for laptop-sized runs while
+    preserving the ratios that drive the experiment's shape.
+    """
+    settings = [
+        RateSchedule(
+            "Setting1", {"A": 50_000.0, "B": 25_000.0, "C": 12_500.0, "D": 625.0}
+        ),
+        RateSchedule(
+            "Setting2", {"A": 25_000.0, "B": 25_000.0, "C": 25_000.0, "D": 25_000.0}
+        ),
+        RateSchedule(
+            "Setting3", {"A": 625.0, "B": 12_500.0, "C": 25_000.0, "D": 50_000.0}
+        ),
+    ]
+    if scale == 1.0:
+        return settings
+    return [schedule.scaled(scale) for schedule in settings]

@@ -1,0 +1,127 @@
+"""Synthetic sub-stream generators (paper §V-A).
+
+The microbenchmarks use four Gaussian sub-streams — A(μ=10, σ=5),
+B(1000, 50), C(10000, 500), D(100000, 5000) — and four Poisson
+sub-streams — A(λ=10), B(100), C(1000), D(10000). Each generator
+produces :class:`~repro.core.items.StreamItem` values tagged with its
+sub-stream name.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.items import StreamItem
+from repro.errors import WorkloadError
+
+__all__ = [
+    "GaussianSubstream",
+    "PoissonSubstream",
+    "paper_gaussian_substreams",
+    "paper_poisson_substreams",
+]
+
+
+@dataclass
+class GaussianSubstream:
+    """Generates normally-distributed item values for one stratum."""
+
+    name: str
+    mu: float
+    sigma: float
+    item_bytes: int = 100
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise WorkloadError(f"sigma must be >= 0, got {self.sigma}")
+
+    def generate(
+        self, count: int, rng: random.Random, emitted_at: float = 0.0
+    ) -> list[StreamItem]:
+        """Draw ``count`` items at the given emission time."""
+        if count < 0:
+            raise WorkloadError(f"count must be >= 0, got {count}")
+        return [
+            StreamItem(
+                self.name, rng.gauss(self.mu, self.sigma), emitted_at,
+                self.item_bytes,
+            )
+            for _ in range(count)
+        ]
+
+    @property
+    def expected_value(self) -> float:
+        """Mean of the value distribution."""
+        return self.mu
+
+
+@dataclass
+class PoissonSubstream:
+    """Generates Poisson-distributed item values for one stratum.
+
+    Uses numpy-free inversion/normal-approximation sampling: exact
+    inversion for small λ, normal approximation (rounded, clamped at 0)
+    for large λ, which matches the paper's use of λ up to 10^7 without
+    pathological generation cost.
+    """
+
+    name: str
+    lam: float
+    item_bytes: int = 100
+    _approximation_threshold: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.lam <= 0:
+            raise WorkloadError(f"lambda must be positive, got {self.lam}")
+
+    def _draw(self, rng: random.Random) -> float:
+        if self.lam >= self._approximation_threshold:
+            value = rng.gauss(self.lam, self.lam ** 0.5)
+            return float(max(0, round(value)))
+        # Knuth inversion for small lambda.
+        import math
+
+        threshold = math.exp(-self.lam)
+        k = 0
+        product = rng.random()
+        while product > threshold:
+            k += 1
+            product *= rng.random()
+        return float(k)
+
+    def generate(
+        self, count: int, rng: random.Random, emitted_at: float = 0.0
+    ) -> list[StreamItem]:
+        """Draw ``count`` items at the given emission time."""
+        if count < 0:
+            raise WorkloadError(f"count must be >= 0, got {count}")
+        return [
+            StreamItem(self.name, self._draw(rng), emitted_at, self.item_bytes)
+            for _ in range(count)
+        ]
+
+    @property
+    def expected_value(self) -> float:
+        """Mean of the value distribution."""
+        return self.lam
+
+
+def paper_gaussian_substreams() -> list[GaussianSubstream]:
+    """The four Gaussian sub-streams of §V-A."""
+    return [
+        GaussianSubstream("A", 10.0, 5.0),
+        GaussianSubstream("B", 1000.0, 50.0),
+        GaussianSubstream("C", 10000.0, 500.0),
+        GaussianSubstream("D", 100000.0, 5000.0),
+    ]
+
+
+def paper_poisson_substreams() -> list[PoissonSubstream]:
+    """The four Poisson sub-streams of §V-A."""
+    return [
+        PoissonSubstream("A", 10.0),
+        PoissonSubstream("B", 100.0),
+        PoissonSubstream("C", 1000.0),
+        PoissonSubstream("D", 10000.0),
+    ]

@@ -1,0 +1,191 @@
+"""Unit tests for producer/consumer clients and the cluster."""
+
+import pytest
+
+from repro.broker.broker import Broker
+from repro.broker.cluster import BrokerCluster
+from repro.broker.consumer import Consumer
+from repro.broker.producer import Producer
+from repro.errors import (
+    BrokerError,
+    ConfigurationError,
+    ConsumerGroupError,
+    UnknownTopicError,
+)
+
+
+class TestProducer:
+    def test_unbatched_send_is_immediate(self):
+        broker = Broker()
+        broker.create_topic("t")
+        producer = Producer(broker)
+        producer.send("t", "hello")
+        assert broker.fetch("t", 0, 0)[0].value == "hello"
+
+    def test_batching_defers_until_full(self):
+        broker = Broker()
+        broker.create_topic("t")
+        producer = Producer(broker, batch_size=3)
+        producer.send("t", 1)
+        producer.send("t", 2)
+        assert broker.end_offsets("t")[0] == 0
+        producer.send("t", 3)
+        assert broker.end_offsets("t")[0] == 3
+
+    def test_flush_delivers_partial_batches(self):
+        broker = Broker()
+        broker.create_topic("t")
+        producer = Producer(broker, batch_size=100)
+        producer.send("t", "x")
+        assert producer.pending == 1
+        producer.flush()
+        assert producer.pending == 0
+        assert broker.end_offsets("t")[0] == 1
+
+    def test_byte_accounting_hook(self):
+        broker = Broker()
+        broker.create_topic("t")
+        observed = []
+        producer = Producer(
+            broker, on_send=lambda topic, batch, size: observed.append(size)
+        )
+        producer.send("t", "payload")
+        assert observed and observed[0] > 0
+        assert producer.bytes_sent == observed[0]
+        assert producer.records_sent == 1
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ConfigurationError):
+            Producer(Broker(), batch_size=0)
+
+
+class TestConsumer:
+    def test_poll_reads_from_assignment(self):
+        broker = Broker()
+        broker.create_topic("t", partitions=2)
+        producer = Producer(broker)
+        for i in range(10):
+            producer.send("t", i, key=f"k{i}")
+        consumer = Consumer(broker, "g", ["t"])
+        values = sorted(r.value for r in consumer.poll())
+        assert values == list(range(10))
+
+    def test_poll_resumes_after_position(self):
+        broker = Broker()
+        broker.create_topic("t")
+        producer = Producer(broker)
+        producer.send("t", "a")
+        consumer = Consumer(broker, "g", ["t"])
+        assert [r.value for r in consumer.poll()] == ["a"]
+        assert consumer.poll() == []
+        producer.send("t", "b")
+        assert [r.value for r in consumer.poll()] == ["b"]
+
+    def test_commit_restores_position_for_new_member(self):
+        broker = Broker()
+        broker.create_topic("t")
+        producer = Producer(broker)
+        for i in range(5):
+            producer.send("t", i)
+        first = Consumer(broker, "g", ["t"], member_id="m1")
+        first.poll()
+        first.close()  # commits offset 5 and leaves
+        producer.send("t", 99)
+        second = Consumer(broker, "g", ["t"], member_id="m2")
+        assert [r.value for r in second.poll()] == [99]
+
+    def test_two_members_split_partitions(self):
+        broker = Broker()
+        broker.create_topic("t", partitions=4)
+        c1 = Consumer(broker, "g", ["t"], member_id="a")
+        c2 = Consumer(broker, "g", ["t"], member_id="b")
+        assert len(c1.assignment) == 2
+        assert len(c2.assignment) == 2
+        assert set(c1.assignment).isdisjoint(c2.assignment)
+
+    def test_seek(self):
+        broker = Broker()
+        broker.create_topic("t")
+        producer = Producer(broker)
+        for i in range(5):
+            producer.send("t", i)
+        consumer = Consumer(broker, "g", ["t"])
+        consumer.poll()
+        consumer.seek("t", 0, 2)
+        assert [r.value for r in consumer.poll()] == [2, 3, 4]
+
+    def test_closed_consumer_rejects_poll(self):
+        broker = Broker()
+        broker.create_topic("t")
+        consumer = Consumer(broker, "g", ["t"])
+        consumer.close()
+        with pytest.raises(ConsumerGroupError):
+            consumer.poll()
+
+    def test_context_manager(self):
+        broker = Broker()
+        broker.create_topic("t")
+        with Consumer(broker, "g", ["t"]) as consumer:
+            assert consumer.poll() == []
+        assert "g" in [g for g in (broker.group("g"),)][0].group_id
+        assert broker.group("g").members == []
+
+    def test_max_poll_records(self):
+        broker = Broker()
+        broker.create_topic("t")
+        producer = Producer(broker)
+        for i in range(10):
+            producer.send("t", i)
+        consumer = Consumer(broker, "g", ["t"], max_poll_records=4)
+        assert len(consumer.poll()) == 4
+        assert len(consumer.poll()) == 4
+        assert len(consumer.poll()) == 2
+
+
+class TestCluster:
+    def test_leadership_round_robin(self):
+        cluster = BrokerCluster(broker_count=3, replication_factor=2)
+        cluster.create_topic("t", partitions=3)
+        leaders = {cluster.leader("t", p) for p in range(3)}
+        assert len(leaders) == 3
+
+    def test_failover_to_replica(self):
+        cluster = BrokerCluster(broker_count=3, replication_factor=2)
+        cluster.create_topic("t", partitions=1)
+        original = cluster.leader("t", 0)
+        cluster.kill_broker(original)
+        replacement = cluster.leader("t", 0)
+        assert replacement != original
+        assert replacement in cluster.replicas("t", 0)
+
+    def test_unavailable_when_all_replicas_dead(self):
+        cluster = BrokerCluster(broker_count=2, replication_factor=2)
+        cluster.create_topic("t", partitions=1)
+        for broker_id in cluster.replicas("t", 0):
+            cluster.kill_broker(broker_id)
+        with pytest.raises(BrokerError):
+            cluster.leader("t", 0)
+
+    def test_restart_restores_leadership_eligibility(self):
+        cluster = BrokerCluster(broker_count=2, replication_factor=2)
+        cluster.create_topic("t", partitions=1)
+        original = cluster.leader("t", 0)
+        cluster.kill_broker(original)
+        cluster.restart_broker(original)
+        assert cluster.leader("t", 0) == original
+
+    def test_route_returns_data_plane(self):
+        cluster = BrokerCluster()
+        cluster.create_topic("t")
+        assert cluster.route("t", 0) is cluster.data_plane
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BrokerCluster(broker_count=0)
+        with pytest.raises(ConfigurationError):
+            BrokerCluster(broker_count=2, replication_factor=3)
+        cluster = BrokerCluster()
+        with pytest.raises(BrokerError):
+            cluster.kill_broker("ghost")
+        with pytest.raises(UnknownTopicError):
+            cluster.leader("missing", 0)

@@ -1,0 +1,71 @@
+"""Unit tests for broker retention enforcement and consumer lag."""
+
+import pytest
+
+from repro.broker.broker import Broker
+from repro.broker.consumer import Consumer
+from repro.broker.producer import Producer
+from repro.errors import ConfigurationError, OffsetOutOfRangeError
+
+
+def loaded_broker(records=20, partitions=1):
+    broker = Broker()
+    broker.create_topic("t", partitions=partitions)
+    producer = Producer(broker)
+    for i in range(records):
+        producer.send("t", i, key=None)
+    return broker
+
+
+class TestRetention:
+    def test_trims_to_newest_records(self):
+        broker = loaded_broker(records=20)
+        dropped = broker.enforce_retention("t", 5)
+        assert dropped == 15
+        records = broker.fetch("t", 0, 15)
+        assert [r.value for r in records] == [15, 16, 17, 18, 19]
+
+    def test_noop_when_under_limit(self):
+        broker = loaded_broker(records=3)
+        assert broker.enforce_retention("t", 10) == 0
+
+    def test_lagging_consumer_hits_out_of_range(self):
+        broker = loaded_broker(records=20)
+        consumer = Consumer(broker, "g", ["t"])
+        broker.enforce_retention("t", 2)
+        with pytest.raises(OffsetOutOfRangeError):
+            consumer.poll()
+
+    def test_validation(self):
+        broker = loaded_broker()
+        with pytest.raises(ConfigurationError):
+            broker.enforce_retention("t", -1)
+
+
+class TestConsumerLag:
+    def test_full_lag_before_consuming(self):
+        broker = loaded_broker(records=10)
+        broker.join_group("g", "m", ["t"])
+        assert broker.consumer_lag("g", "t") == {0: 10}
+
+    def test_lag_shrinks_after_commit(self):
+        broker = loaded_broker(records=10)
+        consumer = Consumer(broker, "g", ["t"])
+        consumer.poll()
+        consumer.commit()
+        assert broker.consumer_lag("g", "t") == {0: 0}
+
+    def test_lag_grows_with_new_records(self):
+        broker = loaded_broker(records=5)
+        consumer = Consumer(broker, "g", ["t"])
+        consumer.poll()
+        consumer.commit()
+        Producer(broker).send("t", 99)
+        assert broker.consumer_lag("g", "t") == {0: 1}
+
+    def test_multi_partition_lag(self):
+        broker = loaded_broker(records=10, partitions=2)
+        broker.join_group("g", "m", ["t"])
+        lags = broker.consumer_lag("g", "t")
+        assert sum(lags.values()) == 10
+        assert set(lags) == {0, 1}

@@ -1,0 +1,170 @@
+"""Unit tests for error estimation (§III-D)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.error_bounds import (
+    confidence_multiplier,
+    estimate_mean_with_error,
+    estimate_sum_with_error,
+    sample_variance,
+)
+from repro.core.estimator import ThetaStore
+from repro.core.items import StreamItem, WeightedBatch
+from repro.core.whs import whsamp
+from repro.errors import EstimationError
+
+
+def batch(substream, weight, values):
+    return WeightedBatch(
+        substream, weight, [StreamItem(substream, float(v)) for v in values]
+    )
+
+
+class TestSampleVariance:
+    def test_matches_textbook_value(self):
+        assert sample_variance([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) == (
+            pytest.approx(32.0 / 7.0)
+        )
+
+    def test_singleton_is_zero(self):
+        assert sample_variance([5.0]) == 0.0
+
+    def test_empty_is_zero(self):
+        assert sample_variance([]) == 0.0
+
+    def test_constant_values_zero(self):
+        assert sample_variance([3.0] * 10) == 0.0
+
+
+class TestConfidenceMultiplier:
+    def test_sigma_rule_exact(self):
+        assert confidence_multiplier(0.68) == 1.0
+        assert confidence_multiplier(0.95) == 2.0
+        assert confidence_multiplier(0.997) == 3.0
+
+    def test_general_quantile(self):
+        # 95.45% two-sided is almost exactly 2 sigma.
+        assert confidence_multiplier(0.9545) == pytest.approx(2.0, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(EstimationError):
+            confidence_multiplier(1.5)
+        with pytest.raises(EstimationError):
+            confidence_multiplier(0.0)
+
+
+class TestSumErrorBound:
+    def test_unsampled_data_has_zero_error(self):
+        """weight 1 + sampled == population -> FPC kills the variance."""
+        theta = ThetaStore()
+        theta.add(batch("a", 1.0, [1, 2, 3, 4]))
+        result = estimate_sum_with_error(theta)
+        assert result.value == pytest.approx(10.0)
+        assert result.error == pytest.approx(0.0)
+
+    def test_error_positive_when_sampled(self):
+        theta = ThetaStore()
+        theta.add(batch("a", 4.0, [1.0, 9.0, 5.0]))  # c=12, zeta=3
+        result = estimate_sum_with_error(theta)
+        assert result.error > 0
+        assert result.variance > 0
+
+    def test_interval_endpoints(self):
+        theta = ThetaStore()
+        theta.add(batch("a", 2.0, [1.0, 3.0]))
+        result = estimate_sum_with_error(theta, confidence=0.95)
+        assert result.lower == result.value - result.error
+        assert result.upper == result.value + result.error
+        assert result.contains(result.value)
+
+    def test_higher_confidence_wider_interval(self):
+        theta = ThetaStore()
+        theta.add(batch("a", 4.0, [1.0, 9.0, 5.0]))
+        e68 = estimate_sum_with_error(theta, 0.68).error
+        e95 = estimate_sum_with_error(theta, 0.95).error
+        e997 = estimate_sum_with_error(theta, 0.997).error
+        assert e68 < e95 < e997
+        assert e95 == pytest.approx(2 * e68)
+        assert e997 == pytest.approx(3 * e68)
+
+    def test_empty_store_raises(self):
+        with pytest.raises(EstimationError):
+            estimate_sum_with_error(ThetaStore())
+
+    def test_coverage_monte_carlo(self):
+        """~95% of 2-sigma intervals should cover the true sum."""
+        rng = random.Random(42)
+        population = [StreamItem("s", rng.gauss(100, 15)) for _ in range(2000)]
+        true_sum = sum(i.value for i in population)
+        covered = 0
+        trials = 300
+        for _ in range(trials):
+            result = whsamp(population, 200, rng=rng)
+            theta = ThetaStore()
+            theta.extend(result.batches)
+            approx = estimate_sum_with_error(theta, 0.95)
+            if approx.contains(true_sum):
+                covered += 1
+        # Allow slack: the CLT bound is asymptotic.
+        assert covered / trials > 0.85
+
+    def test_relative_error(self):
+        theta = ThetaStore()
+        theta.add(batch("a", 2.0, [1.0, 3.0]))
+        result = estimate_sum_with_error(theta)
+        assert result.relative_error() == pytest.approx(
+            abs(result.error / result.value)
+        )
+
+    def test_relative_error_zero_estimate_raises(self):
+        theta = ThetaStore()
+        theta.add(batch("a", 2.0, [0.0, 0.0]))
+        result = estimate_sum_with_error(theta)
+        with pytest.raises(EstimationError):
+            result.relative_error()
+
+    def test_str_formatting(self):
+        theta = ThetaStore()
+        theta.add(batch("a", 2.0, [1.0, 3.0]))
+        text = str(estimate_sum_with_error(theta, 0.95))
+        assert "±" in text and "95" in text
+
+
+class TestMeanErrorBound:
+    def test_mean_value_matches_estimator(self):
+        theta = ThetaStore()
+        theta.add(batch("a", 2.0, [2.0, 4.0]))
+        result = estimate_mean_with_error(theta)
+        assert result.value == pytest.approx(3.0)
+
+    def test_unsampled_mean_zero_error(self):
+        theta = ThetaStore()
+        theta.add(batch("a", 1.0, [1.0, 2.0, 3.0]))
+        result = estimate_mean_with_error(theta)
+        assert result.error == pytest.approx(0.0)
+
+    def test_mean_variance_shrinks_with_sample_size(self):
+        rng = random.Random(7)
+        values_small = [rng.gauss(10, 3) for _ in range(10)]
+        values_large = [rng.gauss(10, 3) for _ in range(500)]
+        theta_small = ThetaStore()
+        theta_small.add(batch("a", 100.0, values_small))
+        theta_large = ThetaStore()
+        theta_large.add(batch("a", 2.0, values_large))
+        small = estimate_mean_with_error(theta_small)
+        large = estimate_mean_with_error(theta_large)
+        assert large.variance < small.variance
+
+    def test_empty_store_raises(self):
+        with pytest.raises(EstimationError):
+            estimate_mean_with_error(ThetaStore())
+
+    def test_sampled_items_counted(self):
+        theta = ThetaStore()
+        theta.add(batch("a", 2.0, [1.0, 2.0]))
+        theta.add(batch("b", 3.0, [5.0]))
+        result = estimate_mean_with_error(theta)
+        assert result.sampled_items == 3

@@ -1,0 +1,146 @@
+"""Unit tests for the per-node drivers (Algorithm 2)."""
+
+import random
+
+import pytest
+
+from repro.core.items import StreamItem, WeightedBatch
+from repro.core.node import RootNode, SamplingNode
+from repro.errors import PipelineError
+
+
+def make_items(substream, values):
+    return [StreamItem(substream, float(v)) for v in values]
+
+
+class TestSamplingNode:
+    def test_forwards_sampled_batches(self):
+        outbox = []
+        node = SamplingNode("edge", 10, outbox.append, rng=random.Random(1))
+        node.receive_raw(make_items("a", range(100)))
+        node.close_interval()
+        assert len(outbox) == 1
+        assert outbox[0].substream == "a"
+        assert len(outbox[0]) == 10
+        assert outbox[0].weight == pytest.approx(10.0)
+
+    def test_multiple_substreams_forwarded_separately(self):
+        outbox = []
+        node = SamplingNode("edge", 10, outbox.append, rng=random.Random(2))
+        node.receive_raw(make_items("a", range(50)) + make_items("b", range(50)))
+        node.close_interval()
+        assert {b.substream for b in outbox} == {"a", "b"}
+
+    def test_weight_composition_through_receive(self):
+        outbox = []
+        node = SamplingNode("edge", 1, outbox.append, rng=random.Random(3))
+        node.receive(WeightedBatch("s", 1.5, make_items("s", [5, 2])))
+        node.close_interval()
+        # Figure 3 node B: 2 items into reservoir 1, W_in 1.5 -> W_out 3.
+        assert outbox[0].weight == pytest.approx(3.0)
+
+    def test_stale_weight_used_next_interval(self):
+        """Figure 3: items 3,4 arrive next interval with no weight."""
+        outbox = []
+        node = SamplingNode("edge", 1, outbox.append, rng=random.Random(4))
+        node.receive(WeightedBatch("s", 1.5, make_items("s", [5, 2])))
+        node.close_interval()  # weight becomes 3.0
+        node.receive_raw([])
+        node.receive(WeightedBatch("s", 3.0, make_items("s", [3, 4])))
+        node.close_interval()
+        assert outbox[-1].weight == pytest.approx(6.0)
+
+    def test_empty_interval_forwards_nothing(self):
+        outbox = []
+        node = SamplingNode("edge", 10, outbox.append)
+        node.close_interval()
+        assert outbox == []
+        assert node.intervals_processed == 1
+
+    def test_pending_items_counter(self):
+        node = SamplingNode("edge", 10, lambda b: None)
+        node.receive_raw(make_items("a", range(7)))
+        assert node.pending_items == 7
+        node.close_interval()
+        assert node.pending_items == 0
+
+    def test_sample_size_setter_validation(self):
+        node = SamplingNode("edge", 10, lambda b: None)
+        node.sample_size = 3
+        assert node.sample_size == 3
+        with pytest.raises(PipelineError):
+            node.sample_size = -1
+        with pytest.raises(PipelineError):
+            SamplingNode("edge", 0, lambda b: None)
+
+
+class TestRootNode:
+    def test_accumulates_into_theta(self):
+        root = RootNode("root", 10, rng=random.Random(5))
+        root.receive_raw(make_items("a", range(100)))
+        root.close_interval()
+        assert len(root.theta) == 1
+
+    def test_query_result_structure(self):
+        root = RootNode("root", 1000, rng=random.Random(6))
+        root.receive_raw(make_items("a", [1, 2, 3, 4]))
+        root.close_interval()
+        result = root.run_query()
+        assert result.sum.value == pytest.approx(10.0)
+        assert result.mean.value == pytest.approx(2.5)
+        assert result.sampled_items == 4
+        assert result.estimated_items == pytest.approx(4.0)
+        assert result.window_index == 1
+
+    def test_query_clears_theta(self):
+        root = RootNode("root", 10, rng=random.Random(7))
+        root.receive_raw(make_items("a", range(20)))
+        root.close_interval()
+        root.run_query()
+        assert len(root.theta) == 0
+        with pytest.raises(PipelineError):
+            root.run_query()
+
+    def test_window_index_increments(self):
+        root = RootNode("root", 10, rng=random.Random(8))
+        for expected in (1, 2, 3):
+            root.receive_raw(make_items("a", range(5)))
+            root.close_interval()
+            assert root.run_query().window_index == expected
+
+    def test_estimate_recovers_total_sum_approximately(self):
+        rng = random.Random(9)
+        root = RootNode("root", 200, rng=rng)
+        values = [rng.gauss(50, 5) for _ in range(5000)]
+        root.receive_raw(make_items("a", values))
+        root.close_interval()
+        result = root.run_query()
+        assert result.sum.value == pytest.approx(sum(values), rel=0.05)
+        assert result.estimated_items == pytest.approx(5000.0)
+
+
+class TestTwoLayerChain:
+    def test_edge_to_root_end_to_end(self):
+        """8 sources worth of data through edge -> root recovers counts."""
+        rng = random.Random(10)
+        root = RootNode("root", 50, rng=rng)
+        edge = SamplingNode("edge", 100, root.receive, rng=rng)
+        for substream in ("a", "b", "c", "d"):
+            edge.receive_raw(make_items(substream, range(250)))
+        edge.close_interval()
+        root.close_interval()
+        result = root.run_query()
+        # 4 sub-streams x 250 items each.
+        assert result.estimated_items == pytest.approx(1000.0)
+
+    def test_three_layer_chain_preserves_counts(self):
+        rng = random.Random(11)
+        root = RootNode("root", 20, rng=rng)
+        mid = SamplingNode("mid", 40, root.receive, rng=rng)
+        leaf = SamplingNode("leaf", 80, mid.receive, rng=rng)
+        leaf.receive_raw(make_items("s", range(640)))
+        leaf.close_interval()
+        mid.close_interval()
+        root.close_interval()
+        result = root.run_query()
+        assert result.estimated_items == pytest.approx(640.0)

@@ -1,0 +1,102 @@
+"""Unit tests for the §III-E parallel sampling node."""
+
+import random
+
+import pytest
+
+from repro.core.estimator import ThetaStore, estimate_sum
+from repro.core.items import StreamItem
+from repro.core.node import RootNode
+from repro.core.worker import ParallelSamplingNode
+from repro.errors import SamplingError
+
+
+def make_items(substream, values):
+    return [StreamItem(substream, float(v)) for v in values]
+
+
+class TestParallelSamplingNode:
+    def test_forwards_one_batch_per_worker(self):
+        outbox = []
+        node = ParallelSamplingNode(
+            "edge", per_substream_capacity=40, worker_count=4,
+            forward=outbox.append, rng=random.Random(1),
+        )
+        node.receive_raw(make_items("s", range(400)))
+        node.close_interval()
+        assert len(outbox) == 4
+        assert all(len(batch) == 10 for batch in outbox)
+
+    def test_count_invariant_over_workers(self):
+        outbox = []
+        node = ParallelSamplingNode(
+            "edge", 40, 4, outbox.append, rng=random.Random(2)
+        )
+        node.receive_raw(make_items("s", range(1000)))
+        node.close_interval()
+        recovered = sum(batch.estimated_count for batch in outbox)
+        assert recovered == pytest.approx(1000.0)
+
+    def test_input_weights_compose(self):
+        outbox = []
+        node = ParallelSamplingNode(
+            "edge", 20, 2, outbox.append, rng=random.Random(3)
+        )
+        node.observe_weights({"s": 2.0})
+        node.receive_raw(make_items("s", range(100)))
+        node.close_interval()
+        recovered = sum(batch.estimated_count for batch in outbox)
+        assert recovered == pytest.approx(200.0)
+
+    def test_multiple_substreams_have_separate_pools(self):
+        outbox = []
+        node = ParallelSamplingNode(
+            "edge", 10, 2, outbox.append, rng=random.Random(4)
+        )
+        node.receive_raw(make_items("a", range(50)) + make_items("b", range(50)))
+        node.close_interval()
+        assert {batch.substream for batch in outbox} == {"a", "b"}
+
+    def test_idle_interval_forwards_nothing(self):
+        outbox = []
+        node = ParallelSamplingNode("edge", 10, 2, outbox.append)
+        node.close_interval()
+        assert outbox == []
+        assert node.intervals_processed == 1
+
+    def test_chains_into_root_node(self):
+        """Parallel edge + root: estimate matches the ground truth."""
+        rng = random.Random(5)
+        root = RootNode("root", 200, rng=rng)
+        node = ParallelSamplingNode(
+            "edge", 400, 4, root.receive, rng=rng
+        )
+        values = [rng.gauss(50, 5) for _ in range(4000)]
+        node.receive_raw(make_items("s", values))
+        node.close_interval()
+        root.close_interval()
+        result = root.run_query()
+        assert result.estimated_items == pytest.approx(4000.0)
+        assert result.sum.value == pytest.approx(sum(values), rel=0.05)
+
+    def test_unbiased_across_trials(self):
+        rng = random.Random(6)
+        values = [rng.gauss(100, 20) for _ in range(2000)]
+        true_sum = sum(values)
+        estimates = []
+        for trial in range(60):
+            outbox = []
+            node = ParallelSamplingNode(
+                "edge", 200, 4, outbox.append, rng=random.Random(trial)
+            )
+            node.receive_raw(make_items("s", values))
+            node.close_interval()
+            theta = ThetaStore()
+            theta.extend(outbox)
+            estimates.append(estimate_sum(theta))
+        mean = sum(estimates) / len(estimates)
+        assert mean == pytest.approx(true_sum, rel=0.02)
+
+    def test_validation(self):
+        with pytest.raises(SamplingError):
+            ParallelSamplingNode("edge", 3, 4, lambda b: None)

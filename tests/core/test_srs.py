@@ -1,0 +1,83 @@
+"""Unit tests for the coin-flip SRS baseline."""
+
+import random
+
+import pytest
+
+from repro.core.srs import CoinFlipSampler, horvitz_thompson_sum, srs_sample
+from repro.errors import SamplingError
+
+
+class TestCoinFlipSampler:
+    def test_fraction_one_keeps_everything(self):
+        sampler = CoinFlipSampler(1.0, random.Random(1))
+        assert sampler.filter(list(range(100))) == list(range(100))
+
+    def test_keep_rate_close_to_fraction(self):
+        sampler = CoinFlipSampler(0.3, random.Random(2))
+        kept = sampler.filter(list(range(20000)))
+        assert len(kept) == pytest.approx(6000, rel=0.05)
+        assert sampler.seen == 20000
+        assert sampler.kept == len(kept)
+
+    def test_weight_is_inverse_fraction(self):
+        assert CoinFlipSampler(0.25).weight == pytest.approx(4.0)
+
+    def test_offer_returns_item_or_none(self):
+        sampler = CoinFlipSampler(0.5, random.Random(3))
+        results = {sampler.offer("x") for _ in range(200)}
+        assert results == {"x", None}
+
+    def test_invalid_fractions_rejected(self):
+        for bad in (0.0, -0.1, 1.5):
+            with pytest.raises(SamplingError):
+                CoinFlipSampler(bad)
+
+    def test_reset_counters(self):
+        sampler = CoinFlipSampler(0.5, random.Random(4))
+        sampler.filter(list(range(10)))
+        sampler.reset_counters()
+        assert sampler.seen == 0
+        assert sampler.kept == 0
+
+    def test_order_preserved(self):
+        sampler = CoinFlipSampler(0.5, random.Random(5))
+        kept = sampler.filter(list(range(1000)))
+        assert kept == sorted(kept)
+
+
+class TestEstimator:
+    def test_horvitz_thompson_exact_at_full_fraction(self):
+        assert horvitz_thompson_sum([1.0, 2.0, 3.0], 1.0) == pytest.approx(6.0)
+
+    def test_horvitz_thompson_scales_by_inverse(self):
+        assert horvitz_thompson_sum([5.0], 0.1) == pytest.approx(50.0)
+
+    def test_horvitz_thompson_validation(self):
+        with pytest.raises(SamplingError):
+            horvitz_thompson_sum([1.0], 0.0)
+
+    def test_unbiasedness_monte_carlo(self):
+        """HT estimate over coin-flip samples averages to the true sum."""
+        population = [float(i) for i in range(1, 201)]
+        true_sum = sum(population)
+        rng = random.Random(6)
+        estimates = [
+            horvitz_thompson_sum(srs_sample(population, 0.2, rng), 0.2)
+            for _ in range(800)
+        ]
+        mean_estimate = sum(estimates) / len(estimates)
+        assert mean_estimate == pytest.approx(true_sum, rel=0.02)
+
+    def test_srs_misses_rare_substream_often(self):
+        """The failure mode stratification fixes: rare strata vanish."""
+        rng = random.Random(7)
+        # 1000 common items and 2 rare, high-value ones.
+        population = ["common"] * 1000 + ["rare"] * 2
+        misses = 0
+        for _ in range(300):
+            kept = srs_sample(population, 0.05, rng)
+            if "rare" not in kept:
+                misses += 1
+        # P(miss both) = 0.95^2 ~ 0.90: the rare stratum usually vanishes.
+        assert misses > 200

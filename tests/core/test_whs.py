@@ -1,0 +1,136 @@
+"""Unit tests for weighted hierarchical sampling (Algorithm 1)."""
+
+import random
+
+import pytest
+
+from repro.core.items import StreamItem
+from repro.core.stratified import allocate_proportional
+from repro.core.weights import WeightMap
+from repro.core.whs import WeightedHierarchicalSampler, whsamp
+from repro.errors import SamplingError
+
+
+def make_items(substream, values, emitted_at=0.0):
+    return [StreamItem(substream, float(v), emitted_at) for v in values]
+
+
+class TestWhsamp:
+    def test_empty_input_returns_empty_result(self):
+        result = whsamp([], 10)
+        assert result.batches == []
+        assert result.sampled_count == 0
+
+    def test_single_substream_overflow(self):
+        items = make_items("a", range(100))
+        result = whsamp(items, 10, rng=random.Random(1))
+        assert result.sampled_count == 10
+        assert result.weights.get("a") == pytest.approx(10.0)
+        assert result.seen == {"a": 100}
+
+    def test_single_substream_underflow_weight_one(self):
+        items = make_items("a", range(5))
+        result = whsamp(items, 10, rng=random.Random(2))
+        assert result.sampled_count == 5
+        assert result.weights.get("a") == 1.0
+
+    def test_count_invariant_equation8(self):
+        """W_out * sampled == W_in * seen for every sub-stream."""
+        items = make_items("a", range(97)) + make_items("b", range(13))
+        result = whsamp(items, 10, rng=random.Random(3))
+        for batch in result.batches:
+            assert batch.estimated_count == pytest.approx(
+                result.seen[batch.substream]
+            )
+
+    def test_input_weights_compose(self):
+        items = make_items("a", range(20))
+        result = whsamp(items, 10, {"a": 2.5}, rng=random.Random(4))
+        # c=20, N=10 -> w=2, W_out = 2.5 * 2 = 5.0
+        assert result.weights.get("a") == pytest.approx(5.0)
+        # Estimated count recovers W_in * c = 2.5 * 20 = 50 original items.
+        assert result.batches[0].estimated_count == pytest.approx(50.0)
+
+    def test_every_substream_represented(self):
+        """Stratification: even a 2-item stratum appears in the sample."""
+        items = make_items("big", range(10000)) + make_items("tiny", [1, 2])
+        result = whsamp(items, 20, rng=random.Random(5))
+        substreams = {batch.substream for batch in result.batches}
+        assert substreams == {"big", "tiny"}
+
+    def test_allocation_recorded(self):
+        items = make_items("a", range(50)) + make_items("b", range(50))
+        result = whsamp(items, 10, rng=random.Random(6))
+        assert sum(result.allocation.values()) == 10
+
+    def test_weightmap_input_not_mutated(self):
+        wm = WeightMap({"a": 2.0})
+        whsamp(make_items("a", range(100)), 10, wm, rng=random.Random(7))
+        assert wm.get("a") == 2.0
+
+    def test_invalid_sample_size(self):
+        with pytest.raises(SamplingError):
+            whsamp(make_items("a", [1]), 0)
+
+    def test_proportional_policy_pluggable(self):
+        items = make_items("a", range(90)) + make_items("b", range(10))
+        result = whsamp(
+            items, 10, policy=allocate_proportional, rng=random.Random(8)
+        )
+        assert result.allocation["a"] == 9
+        assert result.allocation["b"] == 1
+
+    def test_unsaturated_substream_passes_all_items(self):
+        items = make_items("a", [7.0, 8.0])
+        result = whsamp(items, 10, rng=random.Random(9))
+        values = sorted(i.value for i in result.batches[0].items)
+        assert values == [7.0, 8.0]
+
+
+class TestStatefulSampler:
+    def test_stale_received_weight_applies_next_interval(self):
+        """Figure 3 at node B: the *received* w=1.5 applies again.
+
+        The node's own output weight (3.0 after interval v) must NOT
+        feed back as the next interval's input weight — only weights
+        received from downstream do.
+        """
+        sampler = WeightedHierarchicalSampler(1, rng=random.Random(10))
+        sampler.observe_weights({"s": 1.5})
+        # Interval v: items 5, 2 arrive; reservoir 1 -> w = 1.5 * 2 = 3.
+        r1 = sampler.process_interval(make_items("s", [5, 2]))
+        assert r1.weights.get("s") == pytest.approx(3.0)
+        # Interval v+1: items 3, 4 arrive with no weight metadata. The
+        # stale *received* weight 1.5 applies: w = 1.5 * 2 = 3.0.
+        r2 = sampler.process_interval(make_items("s", [3, 4]))
+        assert r2.weights.get("s") == pytest.approx(3.0)
+
+    def test_outputs_do_not_compound_across_intervals(self):
+        """Raw items at a bottom node keep weight ~1/fraction forever."""
+        sampler = WeightedHierarchicalSampler(10, rng=random.Random(12))
+        for _ in range(20):
+            result = sampler.process_interval(make_items("s", range(100)))
+            assert result.weights.get("s") == pytest.approx(10.0)
+
+    def test_sample_size_mutable(self):
+        sampler = WeightedHierarchicalSampler(5)
+        sampler.sample_size = 20
+        assert sampler.sample_size == 20
+        with pytest.raises(SamplingError):
+            sampler.sample_size = 0
+
+    def test_invalid_construction(self):
+        with pytest.raises(SamplingError):
+            WeightedHierarchicalSampler(0)
+
+    def test_count_invariant_end_to_end_two_layers(self):
+        """Chain two nodes; root estimate recovers the bottom count."""
+        rng = random.Random(11)
+        bottom = WeightedHierarchicalSampler(10, rng=rng)
+        top = WeightedHierarchicalSampler(5, rng=rng)
+        original = make_items("s", range(200))
+        r_bottom = bottom.process_interval(original)
+        top.observe_weights(r_bottom.weights.as_dict())
+        forwarded = [i for b in r_bottom.batches for i in b.items]
+        r_top = top.process_interval(forwarded)
+        assert r_top.batches[0].estimated_count == pytest.approx(200.0)

@@ -1,0 +1,90 @@
+"""Unit tests for the distributed-execution extension (§III-E)."""
+
+import random
+
+import pytest
+
+from repro.core.items import StreamItem
+from repro.core.worker import SubstreamWorker, WorkerPool, pooled_estimated_count
+from repro.errors import SamplingError
+
+
+def make_items(substream, values):
+    return [StreamItem(substream, float(v)) for v in values]
+
+
+class TestSubstreamWorker:
+    def test_local_counter(self):
+        worker = SubstreamWorker("s", 5, random.Random(1))
+        for item in make_items("s", range(12)):
+            worker.offer(item)
+        assert worker.seen == 12
+
+    def test_flush_weight_and_reset(self):
+        worker = SubstreamWorker("s", 5, random.Random(2))
+        for item in make_items("s", range(20)):
+            worker.offer(item)
+        batch = worker.flush(input_weight=1.0)
+        assert batch.weight == pytest.approx(4.0)
+        assert len(batch) == 5
+        assert worker.seen == 0  # reset for next interval
+
+    def test_rejects_foreign_substream(self):
+        worker = SubstreamWorker("s", 5)
+        with pytest.raises(SamplingError):
+            worker.offer(StreamItem("other", 1.0))
+
+    def test_invalid_capacity(self):
+        with pytest.raises(SamplingError):
+            SubstreamWorker("s", 0)
+
+
+class TestWorkerPool:
+    def test_round_robin_sharding_is_even(self):
+        pool = WorkerPool("s", 40, 4, rng=random.Random(3))
+        pool.extend(make_items("s", range(100)))
+        assert pool.seen == 100
+        assert all(w.seen == 25 for w in pool._workers)
+
+    def test_count_invariant_over_union(self):
+        """Eq. 8 holds for the concatenation of worker batches."""
+        pool = WorkerPool("s", 40, 4, rng=random.Random(4))
+        pool.extend(make_items("s", range(1000)))
+        batches = pool.flush(input_weight=1.0)
+        assert pooled_estimated_count(batches) == pytest.approx(1000.0)
+
+    def test_count_invariant_with_input_weight(self):
+        pool = WorkerPool("s", 20, 2, rng=random.Random(5))
+        pool.extend(make_items("s", range(100)))
+        batches = pool.flush(input_weight=2.5)
+        assert pooled_estimated_count(batches) == pytest.approx(250.0)
+
+    def test_estimate_invariant_across_worker_counts(self):
+        """The ablation claim: worker count does not bias the estimate."""
+        rng = random.Random(6)
+        values = [rng.gauss(100, 10) for _ in range(4000)]
+        true_sum = sum(values)
+        for workers in (1, 2, 4, 8):
+            totals = []
+            for trial in range(30):
+                pool = WorkerPool(
+                    "s", 400, workers, rng=random.Random(100 + trial)
+                )
+                pool.extend(make_items("s", values))
+                batches = pool.flush(1.0)
+                totals.append(sum(b.estimated_sum for b in batches))
+            mean_total = sum(totals) / len(totals)
+            assert mean_total == pytest.approx(true_sum, rel=0.02)
+
+    def test_underfull_workers_keep_everything(self):
+        pool = WorkerPool("s", 100, 4, rng=random.Random(7))
+        pool.extend(make_items("s", range(8)))
+        batches = pool.flush(1.0)
+        assert sum(len(b) for b in batches) == 8
+        assert all(b.weight == 1.0 for b in batches)
+
+    def test_validation(self):
+        with pytest.raises(SamplingError):
+            WorkerPool("s", 10, 0)
+        with pytest.raises(SamplingError):
+            WorkerPool("s", 3, 4)  # less than one slot per worker

@@ -1,0 +1,51 @@
+"""Unit tests for the experiment scaffolding."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.base import (
+    ExperimentScale,
+    PAPER_FRACTIONS,
+    gaussian_generators,
+    poisson_generators,
+    saturating_placement,
+    uniform_schedule,
+)
+
+
+class TestScale:
+    def test_quick_smaller_than_bench(self):
+        assert ExperimentScale.quick().rate_scale < ExperimentScale.bench().rate_scale
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentScale(rate_scale=0.0)
+        with pytest.raises(ConfigurationError):
+            ExperimentScale(windows=0)
+
+
+class TestFactories:
+    def test_paper_fractions(self):
+        assert PAPER_FRACTIONS == [0.1, 0.2, 0.4, 0.6, 0.8, 0.9]
+
+    def test_generator_maps_cover_abcd(self):
+        assert set(gaussian_generators()) == {"A", "B", "C", "D"}
+        assert set(poisson_generators()) == {"A", "B", "C", "D"}
+
+    def test_uniform_schedule_scaling(self):
+        schedule = uniform_schedule(0.1)
+        assert schedule.rates["A"] == 2500.0
+        assert schedule.total_rate == 10_000.0
+
+    def test_saturating_placement_root_below_offered(self):
+        schedule = uniform_schedule(0.1)
+        spec = saturating_placement(schedule, headroom=10.0)
+        root_rate = spec.layer_service_rates[-1]
+        assert root_rate == pytest.approx(schedule.total_rate / 10.0)
+        # Edges can absorb the whole offered load in aggregate (4 nodes).
+        edge_rate = spec.layer_service_rates[1]
+        assert 4 * edge_rate > schedule.total_rate
+
+    def test_headroom_validated(self):
+        with pytest.raises(ConfigurationError):
+            saturating_placement(uniform_schedule(0.1), headroom=1.0)

@@ -1,0 +1,46 @@
+"""Unit tests for report formatting."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.metrics.report import Table, format_percent, format_rate
+
+
+class TestFormatting:
+    def test_percent(self):
+        assert format_percent(0.1234) == "0.1234%"
+        assert format_percent(12.5, digits=1) == "12.5%"
+
+    def test_rate_kilo(self):
+        assert format_rate(122_199.0) == "122.2k items/s"
+
+    def test_rate_small(self):
+        assert format_rate(412.0) == "412 items/s"
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table("Demo", ["col", "value"])
+        table.add_row("a", 1)
+        table.add_row("long-name", 12345)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "col" in lines[2]
+        # All data lines equally padded up to the trailing cell.
+        assert "long-name" in lines[-1]
+        assert table.row_count == 2
+
+    def test_cell_count_enforced(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ReproError):
+            table.add_row("only-one")
+
+    def test_needs_columns(self):
+        with pytest.raises(ReproError):
+            Table("t", [])
+
+    def test_str_is_render(self):
+        table = Table("t", ["a"])
+        table.add_row("x")
+        assert str(table) == table.render()

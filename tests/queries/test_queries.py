@@ -1,0 +1,123 @@
+"""Unit tests for the query layer and the data-parallel runner."""
+
+import random
+
+import pytest
+
+from repro.core.estimator import ThetaStore
+from repro.core.items import StreamItem, WeightedBatch
+from repro.core.whs import whsamp
+from repro.errors import EstimationError
+from repro.queries.query import (
+    CountQuery,
+    MeanQuery,
+    PerSubstreamSumQuery,
+    SumQuery,
+)
+from repro.queries.runner import partition_theta, run_job
+
+
+def batch(substream, weight, values):
+    return WeightedBatch(
+        substream, weight, [StreamItem(substream, float(v)) for v in values]
+    )
+
+
+def sample_theta():
+    theta = ThetaStore()
+    theta.add(batch("a", 2.0, [1.0, 2.0, 3.0]))
+    theta.add(batch("b", 3.0, [10.0, 20.0]))
+    theta.add(batch("c", 1.0, [5.0]))
+    return theta
+
+
+class TestQueries:
+    def test_sum_query(self):
+        result = SumQuery().execute(sample_theta())
+        assert result.value == pytest.approx(2 * 6 + 3 * 30 + 5)
+
+    def test_mean_query(self):
+        theta = ThetaStore()
+        theta.add(batch("a", 2.0, [4.0, 6.0]))
+        result = MeanQuery().execute(theta)
+        assert result.value == pytest.approx(5.0)
+
+    def test_count_query_exact(self):
+        result = CountQuery().execute(sample_theta())
+        assert result.value == pytest.approx(3 * 2 + 2 * 3 + 1)
+        assert result.error == 0.0
+
+    def test_count_query_matches_true_count_after_sampling(self):
+        rng = random.Random(1)
+        items = [StreamItem("s", rng.random()) for _ in range(500)]
+        result = whsamp(items, 50, rng=rng)
+        theta = ThetaStore()
+        theta.extend(result.batches)
+        count = CountQuery().execute(theta)
+        assert count.value == pytest.approx(500.0)
+
+    def test_per_substream_grouped(self):
+        query = PerSubstreamSumQuery()
+        grouped = query.execute_grouped(sample_theta())
+        assert set(grouped) == {"a", "b", "c"}
+        assert grouped["b"].value == pytest.approx(90.0)
+
+    def test_empty_store_raises(self):
+        with pytest.raises(EstimationError):
+            CountQuery().execute(ThetaStore())
+        with pytest.raises(EstimationError):
+            PerSubstreamSumQuery().execute_grouped(ThetaStore())
+
+
+class TestPartitioning:
+    def test_partitions_preserve_batches(self):
+        theta = sample_theta()
+        shards = partition_theta(theta, 4)
+        total = sum(len(shard) for shard in shards)
+        assert total == len(theta)
+
+    def test_substream_locality(self):
+        """All batches of one sub-stream land in one partition."""
+        theta = ThetaStore()
+        for i in range(10):
+            theta.add(batch("a", 1.0 + i, [float(i)]))
+        shards = partition_theta(theta, 4)
+        non_empty = [s for s in shards if len(s) > 0]
+        assert len(non_empty) == 1
+        assert len(non_empty[0]) == 10
+
+    def test_partition_count_validated(self):
+        with pytest.raises(EstimationError):
+            partition_theta(sample_theta(), 0)
+
+
+class TestRunJob:
+    def test_parallel_sum_matches_direct(self):
+        theta = sample_theta()
+        direct = SumQuery().execute(theta)
+        parallel = run_job(SumQuery(), theta, partitions=3)
+        assert parallel.value == pytest.approx(direct.value)
+        assert parallel.variance == pytest.approx(direct.variance)
+        assert parallel.error == pytest.approx(direct.error)
+
+    def test_parallel_count_matches_direct(self):
+        theta = sample_theta()
+        direct = CountQuery().execute(theta)
+        parallel = run_job(CountQuery(), theta, partitions=2)
+        assert parallel.value == pytest.approx(direct.value)
+
+    def test_mean_falls_back_to_direct(self):
+        theta = sample_theta()
+        direct = MeanQuery().execute(theta)
+        parallel = run_job(MeanQuery(), theta, partitions=3)
+        assert parallel.value == pytest.approx(direct.value)
+
+    def test_empty_store_raises(self):
+        with pytest.raises(EstimationError):
+            run_job(SumQuery(), ThetaStore())
+
+    def test_single_partition_equivalence(self):
+        theta = sample_theta()
+        assert run_job(SumQuery(), theta, partitions=1).value == pytest.approx(
+            SumQuery().execute(theta).value
+        )

@@ -1,0 +1,124 @@
+"""Additional DSL coverage: flat_map, counts, hopping windows, chains."""
+
+import pytest
+
+from repro.broker.broker import Broker
+from repro.broker.producer import Producer
+from repro.streams.dsl import StreamBuilder
+from repro.streams.runtime import StreamsRuntime
+from repro.streams.windowing import HoppingWindow, TumblingWindow
+
+
+def broker_with(topic, values):
+    broker = Broker()
+    broker.create_topic(topic)
+    producer = Producer(broker)
+    for ts, value in values:
+        producer.send(topic, value, timestamp=ts)
+    return broker
+
+
+class TestDslOperators:
+    def test_flat_map_values(self):
+        broker = broker_with("in", [(0.0, "a b"), (0.0, "c")])
+        builder = StreamBuilder()
+        words = []
+        (builder.stream("in")
+            .flat_map_values(lambda v: v.split())
+            .for_each(lambda k, v: words.append(v)))
+        runtime = StreamsRuntime(broker, builder.build())
+        runtime.run_to_completion()
+        runtime.close()
+        assert words == ["a", "b", "c"]
+
+    def test_map_rekeys_and_transforms(self):
+        broker = broker_with("in", [(0.0, 5)])
+        builder = StreamBuilder()
+        seen = []
+        (builder.stream("in")
+            .map(lambda k, v: (f"key-{v}", v * v))
+            .for_each(lambda k, v: seen.append((k, v))))
+        runtime = StreamsRuntime(broker, builder.build())
+        runtime.run_to_completion()
+        runtime.close()
+        assert seen == [("key-5", 25)]
+
+    def test_peek_does_not_modify(self):
+        broker = broker_with("in", [(0.0, 1), (0.0, 2)])
+        builder = StreamBuilder()
+        peeked, sunk = [], []
+        (builder.stream("in")
+            .peek(lambda k, v: peeked.append(v))
+            .for_each(lambda k, v: sunk.append(v)))
+        runtime = StreamsRuntime(broker, builder.build())
+        runtime.run_to_completion()
+        runtime.close()
+        assert peeked == sunk == [1, 2]
+
+    def test_windowed_count(self):
+        values = [(0.1, "x"), (0.2, "x"), (0.9, "x"), (1.5, "x")]
+        broker = broker_with("in", values)
+        builder = StreamBuilder()
+        counts = []
+        (builder.stream("in")
+            .select_key(lambda k, v: "all")
+            .windowed_count(TumblingWindow(1.0))
+            .for_each(lambda k, v: counts.append(v)))
+        runtime = StreamsRuntime(broker, builder.build())
+        runtime.run_to_completion()
+        runtime.advance_stream_time(3.0)
+        runtime.close()
+        assert (0.0, 3) in counts
+        assert (1.0, 1) in counts
+
+    def test_chained_filters_compose(self):
+        broker = broker_with("in", [(0.0, i) for i in range(20)])
+        builder = StreamBuilder()
+        out = []
+        (builder.stream("in")
+            .filter(lambda k, v: v % 2 == 0)
+            .filter(lambda k, v: v > 10)
+            .map_values(lambda v: v // 2)
+            .for_each(lambda k, v: out.append(v)))
+        runtime = StreamsRuntime(broker, builder.build())
+        runtime.run_to_completion()
+        runtime.close()
+        assert out == [6, 7, 8, 9]
+
+    def test_two_sources_two_sinks(self):
+        broker = Broker()
+        broker.create_topic("in1")
+        broker.create_topic("in2")
+        producer = Producer(broker)
+        producer.send("in1", 1, timestamp=0.0)
+        producer.send("in2", 2, timestamp=0.0)
+        builder = StreamBuilder()
+        builder.stream("in1").map_values(lambda v: v * 10).to("out1")
+        builder.stream("in2").map_values(lambda v: v * 100).to("out2")
+        runtime = StreamsRuntime(broker, builder.build())
+        runtime.run_to_completion()
+        runtime.close()
+        assert broker.fetch("out1", 0, 0)[0].value == 10
+        assert broker.fetch("out2", 0, 0)[0].value == 200
+
+
+class TestHoppingWindows:
+    def test_every_containing_window_returned(self):
+        window = HoppingWindow(size=4.0, hop=2.0)
+        windows = window.windows_for(5.0)
+        assert (2.0, 6.0) in windows
+        assert (4.0, 8.0) in windows
+        assert all(start <= 5.0 < start + 4.0 for start, _end in windows)
+
+    def test_hop_equal_size_behaves_like_tumbling(self):
+        hopping = HoppingWindow(size=2.0, hop=2.0)
+        tumbling = TumblingWindow(2.0)
+        for timestamp in (0.0, 1.9, 2.0, 5.5):
+            assert hopping.windows_for(timestamp) == (
+                tumbling.windows_for(timestamp)
+            )
+
+    def test_small_timestamps_near_zero(self):
+        window = HoppingWindow(size=10.0, hop=5.0)
+        windows = window.windows_for(1.0)
+        assert (0.0, 10.0) in windows

@@ -1,0 +1,205 @@
+"""Unit tests for the stream-processing engine."""
+
+import pytest
+
+from repro.broker.broker import Broker
+from repro.broker.producer import Producer
+from repro.errors import StateStoreError, TopologyError
+from repro.streams.dsl import StreamBuilder
+from repro.streams.processor import FunctionProcessor, Processor
+from repro.streams.runtime import StreamsRuntime
+from repro.streams.state import KeyValueStore, WindowStore
+from repro.streams.topology import Topology
+from repro.streams.windowing import HoppingWindow, TumblingWindow, window_start
+
+
+class TestStateStores:
+    def test_kv_roundtrip(self):
+        store = KeyValueStore("s")
+        store.put("a", 1)
+        assert store.get("a") == 1
+        assert store.get("missing", 0) == 0
+        assert "a" in store and len(store) == 1
+
+    def test_kv_delete(self):
+        store = KeyValueStore("s")
+        store.put("a", 1)
+        store.delete("a")
+        assert "a" not in store
+        with pytest.raises(StateStoreError):
+            store.delete("a")
+
+    def test_window_store_scoping(self):
+        store = WindowStore("w", retention=100.0)
+        store.put("k", 0.0, "first")
+        store.put("k", 10.0, "second")
+        assert store.get("k", 0.0) == "first"
+        assert store.windows_for("k") == [(0.0, "first"), (10.0, "second")]
+
+    def test_window_store_expiry(self):
+        store = WindowStore("w", retention=5.0)
+        store.put("k", 0.0, "old")
+        store.put("k", 10.0, "new")
+        assert store.expire_before(12.0) == 1
+        assert store.get("k", 0.0) is None
+        assert store.get("k", 10.0) == "new"
+
+    def test_window_store_validation(self):
+        with pytest.raises(StateStoreError):
+            WindowStore("w", retention=0.0)
+
+
+class TestWindows:
+    def test_tumbling_window_for(self):
+        window = TumblingWindow(10.0)
+        assert window.window_for(0.0) == (0.0, 10.0)
+        assert window.window_for(9.99) == (0.0, 10.0)
+        assert window.window_for(10.0) == (10.0, 20.0)
+
+    def test_tumbling_single_match(self):
+        assert TumblingWindow(5.0).windows_for(12.0) == [(10.0, 15.0)]
+
+    def test_hopping_overlap(self):
+        window = HoppingWindow(size=10.0, hop=5.0)
+        windows = window.windows_for(12.0)
+        assert (10.0, 20.0) in windows
+        assert (5.0, 15.0) in windows
+
+    def test_window_start_helper(self):
+        assert window_start(17.0, 5.0) == 15.0
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            TumblingWindow(0.0)
+        with pytest.raises(Exception):
+            HoppingWindow(10.0, 0.0)
+        with pytest.raises(Exception):
+            HoppingWindow(10.0, 20.0)
+
+
+class TestTopology:
+    def test_duplicate_node_rejected(self):
+        topology = Topology()
+        topology.add_source("src", ["t"])
+        with pytest.raises(TopologyError):
+            topology.add_source("src", ["t2"])
+
+    def test_unknown_parent_rejected(self):
+        topology = Topology()
+        with pytest.raises(TopologyError):
+            topology.add_processor("p", lambda k, v, c: None, ["ghost"])
+
+    def test_source_needs_topics(self):
+        with pytest.raises(TopologyError):
+            Topology().add_source("s", [])
+
+    def test_forwarding_chain(self):
+        topology = Topology()
+        topology.add_source("src", ["t"])
+        seen = []
+        topology.add_processor(
+            "double", lambda k, v, ctx: ctx.forward(k, v * 2), ["src"]
+        )
+        topology.add_processor(
+            "collect", lambda k, v, ctx: seen.append((k, v)), ["double"]
+        )
+        topology.node("src").process("k", 21)
+        assert seen == [("k", 42)]
+
+    def test_sink_without_runtime_raises(self):
+        topology = Topology()
+        topology.add_source("src", ["t"])
+        topology.add_sink("out", "dst", ["src"])
+        with pytest.raises(TopologyError):
+            topology.node("src").process("k", "v")
+
+
+class TestRuntime:
+    def _broker_with(self, topic, values):
+        broker = Broker()
+        broker.create_topic(topic)
+        producer = Producer(broker)
+        for ts, value in values:
+            producer.send(topic, value, timestamp=ts)
+        return broker
+
+    def test_pipe_through_processor_to_topic(self):
+        broker = self._broker_with("in", [(0.0, 1), (0.0, 2)])
+        builder = StreamBuilder()
+        builder.stream("in").map_values(lambda v: v * 10).to("out")
+        runtime = StreamsRuntime(broker, builder.build())
+        processed = runtime.run_to_completion()
+        assert processed == 2
+        out = broker.fetch("out", 0, 0)
+        assert sorted(r.value for r in out) == [10, 20]
+        runtime.close()
+
+    def test_filter_and_for_each(self):
+        broker = self._broker_with("in", [(0.0, i) for i in range(10)])
+        builder = StreamBuilder()
+        collected = []
+        (builder.stream("in")
+            .filter(lambda k, v: v % 2 == 0)
+            .for_each(lambda k, v: collected.append(v)))
+        runtime = StreamsRuntime(broker, builder.build())
+        runtime.run_to_completion()
+        assert collected == [0, 2, 4, 6, 8]
+        runtime.close()
+
+    def test_windowed_sum_emits_closed_windows(self):
+        values = [(0.5, 1.0), (0.7, 2.0), (1.2, 10.0), (2.5, 100.0)]
+        broker = self._broker_with("in", values)
+        builder = StreamBuilder()
+        emitted = []
+        (builder.stream("in")
+            .select_key(lambda k, v: "all")
+            .windowed_sum(TumblingWindow(1.0))
+            .for_each(lambda k, v: emitted.append(v)))
+        runtime = StreamsRuntime(broker, builder.build())
+        runtime.run_to_completion()
+        runtime.advance_stream_time(3.0)  # close the last window
+        assert (0.0, 3.0) in emitted
+        assert (1.0, 10.0) in emitted
+        assert (2.0, 100.0) in emitted
+        runtime.close()
+
+    def test_custom_processor_integration(self):
+        """The paper's pattern: a user-defined sampling processor."""
+
+        class EveryOther(Processor):
+            def __init__(self):
+                super().__init__("every-other")
+                self.count = 0
+
+            def process(self, key, value):
+                self.count += 1
+                if self.count % 2 == 1:
+                    self.context.forward(key, value)
+
+        broker = self._broker_with("in", [(0.0, i) for i in range(6)])
+        builder = StreamBuilder()
+        got = []
+        (builder.stream("in")
+            .process_with(EveryOther())
+            .for_each(lambda k, v: got.append(v)))
+        runtime = StreamsRuntime(broker, builder.build())
+        runtime.run_to_completion()
+        assert got == [0, 2, 4]
+        runtime.close()
+
+    def test_stream_time_advances_with_records(self):
+        broker = self._broker_with("in", [(5.0, "a"), (2.0, "b")])
+        builder = StreamBuilder()
+        builder.stream("in").for_each(lambda k, v: None)
+        runtime = StreamsRuntime(broker, builder.build())
+        runtime.run_to_completion()
+        assert runtime.stream_time == 5.0
+        runtime.close()
+
+    def test_function_processor_adapter(self):
+        proc = FunctionProcessor("f", lambda k, v, ctx: ctx.forward(k, v + 1))
+        outs = []
+        child = FunctionProcessor("c", lambda k, v, ctx: outs.append(v))
+        proc.context.add_child(child)
+        proc.process(None, 41)
+        assert outs == [42]

@@ -1,0 +1,63 @@
+"""Integration tests for the adaptive feedback driver."""
+
+import pytest
+
+from repro.core.cost import AdaptiveErrorBudget
+from repro.errors import PipelineError
+from repro.system.config import PipelineConfig
+from repro.system.feedback import FeedbackDriver
+from repro.workloads.rates import RateSchedule
+from repro.workloads.synthetic import paper_gaussian_substreams
+
+GENS = {g.name: g for g in paper_gaussian_substreams()}
+SCHEDULE = RateSchedule(
+    "test", {"A": 400.0, "B": 400.0, "C": 400.0, "D": 400.0}
+)
+
+
+def make_driver(target, initial):
+    config = PipelineConfig(sampling_fraction=initial, seed=11)
+    controller = AdaptiveErrorBudget(
+        target, initial_fraction=initial, min_fraction=0.01
+    )
+    return FeedbackDriver(config, SCHEDULE, GENS, controller), controller
+
+
+class TestFeedback:
+    def test_fraction_grows_under_tight_target(self):
+        driver, controller = make_driver(target=1e-6, initial=0.05)
+        outcome = driver.run(6)
+        assert outcome.final_fraction > 0.05
+        assert controller.fraction == outcome.fractions[-1] or (
+            controller.fraction == controller.history[-1]
+        )
+
+    def test_fraction_shrinks_under_loose_target(self):
+        driver, _ = make_driver(target=0.5, initial=0.8)
+        outcome = driver.run(6)
+        assert outcome.final_fraction < 0.8
+
+    def test_trace_lengths_match(self):
+        driver, _ = make_driver(target=0.01, initial=0.1)
+        outcome = driver.run(4)
+        assert len(outcome.windows) == 4
+        assert len(outcome.fractions) == 4
+        assert len(outcome.relative_errors) == 4
+
+    def test_errors_tighten_as_fraction_grows(self):
+        driver, _ = make_driver(target=1e-9, initial=0.02)
+        outcome = driver.run(10)
+        early = sum(outcome.relative_errors[:3]) / 3
+        late = sum(outcome.relative_errors[-3:]) / 3
+        assert late < early
+
+    def test_zero_windows_rejected(self):
+        driver, _ = make_driver(target=0.1, initial=0.1)
+        with pytest.raises(PipelineError):
+            driver.run(0)
+
+    def test_empty_outcome_final_fraction_raises(self):
+        from repro.system.feedback import FeedbackOutcome
+
+        with pytest.raises(PipelineError):
+            FeedbackOutcome().final_fraction

@@ -1,0 +1,82 @@
+"""Failure injection: deployments over a lossy WAN.
+
+The paper's testbed is lossless; these tests inject netem-style packet
+loss to check the system degrades gracefully: runs complete, the
+estimate's recovered count falls roughly with the loss rate (dropped
+batches are simply missing mass, never corruption), and lossless links
+remain exact.
+"""
+
+import pytest
+
+from repro.simnet.netem import NetemConfig
+from repro.system.config import ExecutionMode, PipelineConfig
+from repro.system.deployment import DeploymentSimulator
+from repro.topology.placement import PlacementSpec
+from repro.workloads.rates import RateSchedule
+from repro.workloads.synthetic import paper_gaussian_substreams
+
+GENS = {g.name: g for g in paper_gaussian_substreams()}
+SCHEDULE = RateSchedule(
+    "test", {"A": 300.0, "B": 300.0, "C": 300.0, "D": 300.0}
+)
+
+
+def lossy_placement(loss: float) -> PlacementSpec:
+    return PlacementSpec(
+        layer_service_rates=[1e12, 5000.0, 5000.0, 5000.0],
+        uplink_configs=[
+            NetemConfig.from_rtt(20.0, 1e9, loss=loss),
+            NetemConfig.from_rtt(40.0, 1e9, loss=loss),
+            NetemConfig.from_rtt(80.0, 1e9, loss=loss),
+        ],
+    )
+
+
+def run(loss: float, mode: str = ExecutionMode.APPROXIOT):
+    config = PipelineConfig(
+        sampling_fraction=0.2,
+        window_seconds=1.0,
+        mode=mode,
+        placement=lossy_placement(loss),
+        seed=3,
+    )
+    simulator = DeploymentSimulator(config, SCHEDULE, GENS, n_windows=6)
+    return simulator.run()
+
+
+class TestLossyWan:
+    def test_lossless_baseline(self):
+        report = run(loss=0.0)
+        assert report.realized_fraction == pytest.approx(0.2, rel=0.2)
+
+    def test_run_completes_under_loss(self):
+        report = run(loss=0.1)
+        assert report.items_at_root > 0
+        assert report.makespan_seconds > 0
+
+    def test_root_volume_degrades_with_loss(self):
+        clean = run(loss=0.0)
+        lossy = run(loss=0.3)
+        assert lossy.items_at_root < clean.items_at_root
+
+    def test_native_loses_proportionally(self):
+        clean = run(loss=0.0, mode=ExecutionMode.NATIVE)
+        lossy = run(loss=0.2, mode=ExecutionMode.NATIVE)
+        # Items cross three lossy hops; batches are large so per-batch
+        # drops are coarse, but volume must fall substantially.
+        assert lossy.items_at_root < 0.9 * clean.items_at_root
+
+    def test_drop_counters_exposed(self):
+        config = PipelineConfig(
+            sampling_fraction=0.2,
+            mode=ExecutionMode.NATIVE,
+            placement=lossy_placement(0.3),
+            seed=4,
+        )
+        simulator = DeploymentSimulator(config, SCHEDULE, GENS, n_windows=4)
+        simulator.run()
+        dropped = sum(
+            link.messages_dropped for link in simulator._network.links
+        )
+        assert dropped > 0

@@ -1,0 +1,105 @@
+"""Unit tests for the event-time windowed root."""
+
+import random
+
+import pytest
+
+from repro.core.items import StreamItem, WeightedBatch
+from repro.core.whs import whsamp
+from repro.errors import PipelineError
+from repro.streams.windowing import HoppingWindow, TumblingWindow
+from repro.system.windowed import WindowedRoot
+
+
+def batch(substream, weight, pairs):
+    """pairs: (value, emitted_at) tuples."""
+    return WeightedBatch(
+        substream,
+        weight,
+        [StreamItem(substream, float(v), t) for v, t in pairs],
+    )
+
+
+class TestWindowRouting:
+    def test_items_split_by_event_time(self):
+        root = WindowedRoot(TumblingWindow(1.0))
+        root.receive(batch("s", 2.0, [(1, 0.2), (2, 0.8), (3, 1.3)]))
+        assert root.open_windows == [(0.0, 1.0), (1.0, 2.0)]
+
+    def test_windows_emit_at_watermark(self):
+        root = WindowedRoot(TumblingWindow(1.0))
+        root.receive(batch("s", 1.0, [(5, 0.5), (7, 1.5)]))
+        results = root.advance_watermark(1.0)
+        assert len(results) == 1
+        assert results[0].window == (0.0, 1.0)
+        assert results[0].sum.value == pytest.approx(5.0)
+        # Second window still open.
+        assert root.open_windows == [(1.0, 2.0)]
+
+    def test_flush_emits_everything(self):
+        root = WindowedRoot(TumblingWindow(1.0))
+        root.receive(batch("s", 1.0, [(1, 0.1), (2, 1.1), (3, 2.1)]))
+        results = root.flush()
+        assert [r.window for r in results] == [
+            (0.0, 1.0), (1.0, 2.0), (2.0, 3.0)
+        ]
+
+    def test_late_item_for_emitted_window_rejected(self):
+        root = WindowedRoot(TumblingWindow(1.0))
+        root.receive(batch("s", 1.0, [(1, 0.5)]))
+        root.advance_watermark(1.0)
+        with pytest.raises(PipelineError):
+            root.receive(batch("s", 1.0, [(9, 0.7)]))
+
+    def test_results_ordered_by_window_start(self):
+        root = WindowedRoot(TumblingWindow(1.0))
+        root.receive(batch("s", 1.0, [(1, 2.5), (2, 0.5), (3, 1.5)]))
+        results = root.advance_watermark(10.0)
+        starts = [r.window[0] for r in results]
+        assert starts == sorted(starts)
+
+
+class TestWindowedEstimates:
+    def test_weighted_sum_per_window(self):
+        root = WindowedRoot(TumblingWindow(1.0))
+        root.receive(batch("s", 3.0, [(10, 0.2), (20, 0.4)]))
+        root.receive(batch("t", 2.0, [(100, 0.6)]))
+        result = root.advance_watermark(1.0)[0]
+        assert result.sum.value == pytest.approx(3 * 30 + 2 * 100)
+        assert result.estimated_items == pytest.approx(3 * 2 + 2 * 1)
+
+    def test_sampled_then_windowed_recovers_per_window_sums(self):
+        """End-to-end: sample a 4-window stream, route to event windows."""
+        rng = random.Random(8)
+        items = []
+        exact = {w: 0.0 for w in range(4)}
+        for w in range(4):
+            for _ in range(2_000):
+                value = rng.gauss(100, 10)
+                exact[w] += value
+                items.append(StreamItem("s", value, w + rng.random()))
+        sampled = whsamp(items, 2_000, rng=rng)
+        root = WindowedRoot(TumblingWindow(1.0))
+        for out in sampled.batches:
+            root.receive(out)
+        results = root.flush()
+        assert len(results) == 4
+        for result in results:
+            start = int(result.window[0])
+            assert result.sum.value == pytest.approx(exact[start], rel=0.05)
+
+    def test_hopping_windows_overlap_items(self):
+        root = WindowedRoot(HoppingWindow(size=2.0, hop=1.0))
+        root.receive(batch("s", 1.0, [(10, 1.5)]))
+        results = root.flush()
+        # The item at t=1.5 belongs to windows [0,2) and [1,3).
+        windows = [r.window for r in results]
+        assert (0.0, 2.0) in windows
+        assert (1.0, 3.0) in windows
+        for result in results:
+            assert result.sum.value == pytest.approx(10.0)
+
+    def test_watermark_tracks_item_times(self):
+        root = WindowedRoot(TumblingWindow(1.0))
+        root.receive(batch("s", 1.0, [(1, 3.7)]))
+        assert root.watermark == 3.7

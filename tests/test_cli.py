@@ -1,0 +1,48 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figures_defaults(self):
+        args = build_parser().parse_args(["figures"])
+        assert args.ids == []
+        assert args.scale == "quick"
+
+    def test_figures_with_ids_and_scale(self):
+        args = build_parser().parse_args(
+            ["figures", "fig5", "fig7", "--scale", "bench"]
+        )
+        assert args.ids == ["fig5", "fig7"]
+        assert args.scale == "bench"
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figures", "--scale", "huge"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out and "fig11" in out
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out and "repro.core" in out
+
+    def test_figures_single(self, capsys):
+        assert main(["figures", "fig5", "--scale", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 5(a)" in out
+
+    def test_figures_unknown_id(self, capsys):
+        assert main(["figures", "fig99"]) == 2
+        assert "error" in capsys.readouterr().err

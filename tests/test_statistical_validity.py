@@ -1,0 +1,104 @@
+"""Statistical validity tests: the numbers behind the error bounds.
+
+These go beyond unit behaviour: chi-square uniformity for the
+reservoirs, unbiasedness of the end-to-end tree estimate, and the
+advertised coverage of the confidence intervals. Tolerances are loose
+enough to keep the suite deterministic-ish under seeded RNGs.
+"""
+
+import random
+from collections import Counter
+
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.core.reservoir import ReservoirSampler, SkipAheadReservoirSampler
+from repro.system.config import PipelineConfig
+from repro.system.statistical import StatisticalRunner
+from repro.workloads.rates import RateSchedule
+from repro.workloads.synthetic import paper_gaussian_substreams
+
+GENS = {g.name: g for g in paper_gaussian_substreams()}
+SCHEDULE = RateSchedule(
+    "validity", {"A": 500.0, "B": 500.0, "C": 500.0, "D": 500.0}
+)
+
+
+class TestReservoirUniformity:
+    def _chi_square_pvalue(self, sampler_cls, seed, capacity=10,
+                           stream_len=50, trials=3000):
+        counts = Counter()
+        rng = random.Random(seed)
+        for _ in range(trials):
+            sampler = sampler_cls(capacity, rng)
+            sampler.extend(range(stream_len))
+            counts.update(sampler.sample())
+        observed = [counts[i] for i in range(stream_len)]
+        expected = trials * capacity / stream_len
+        statistic = sum((o - expected) ** 2 / expected for o in observed)
+        return float(scipy_stats.chi2.sf(statistic, df=stream_len - 1))
+
+    def test_algorithm_r_uniform(self):
+        pvalue = self._chi_square_pvalue(ReservoirSampler, seed=101)
+        assert pvalue > 0.01
+
+    def test_skip_ahead_uniform(self):
+        pvalue = self._chi_square_pvalue(SkipAheadReservoirSampler, seed=102)
+        assert pvalue > 0.01
+
+
+class TestTreeEstimator:
+    def test_unbiased_over_many_windows(self):
+        config = PipelineConfig(sampling_fraction=0.1, seed=103)
+        runner = StatisticalRunner(config, SCHEDULE, GENS)
+        signed = []
+        for _ in range(40):
+            outcome = runner.run_window()
+            signed.append(
+                (outcome.approx_sum.value - outcome.exact_sum)
+                / outcome.exact_sum
+            )
+        mean_signed = sum(signed) / len(signed)
+        spread = (sum((s - mean_signed) ** 2 for s in signed) / len(signed)) ** 0.5
+        # The mean signed error must be consistent with zero bias:
+        # within ~3 standard errors of the window-to-window spread.
+        assert abs(mean_signed) < 3 * spread / len(signed) ** 0.5 + 1e-4
+
+    def test_interval_coverage_near_nominal(self):
+        config = PipelineConfig(sampling_fraction=0.2, confidence=0.95,
+                                seed=104)
+        runner = StatisticalRunner(config, SCHEDULE, GENS)
+        covered = 0
+        windows = 60
+        for _ in range(windows):
+            outcome = runner.run_window()
+            if outcome.approx_sum.contains(outcome.exact_sum):
+                covered += 1
+        # 95% nominal; binomial 3-sigma floor for 60 windows is ~0.86.
+        assert covered / windows >= 0.85
+
+    def test_wider_confidence_wider_interval_same_window(self):
+        for confidence, wider in ((0.68, 0.95), (0.95, 0.997)):
+            narrow_config = PipelineConfig(
+                sampling_fraction=0.1, confidence=confidence, seed=105
+            )
+            wide_config = PipelineConfig(
+                sampling_fraction=0.1, confidence=wider, seed=105
+            )
+            narrow = StatisticalRunner(narrow_config, SCHEDULE, GENS)
+            wide = StatisticalRunner(wide_config, SCHEDULE, GENS)
+            assert (
+                wide.run_window().approx_sum.error
+                > narrow.run_window().approx_sum.error
+            )
+
+    def test_error_shrinks_with_fraction_on_average(self):
+        def mean_error(fraction):
+            config = PipelineConfig(sampling_fraction=fraction, seed=106)
+            runner = StatisticalRunner(config, SCHEDULE, GENS)
+            outcome = runner.run(10)
+            return sum(
+                w.approx_sum.error / w.exact_sum for w in outcome.windows
+            ) / len(outcome.windows)
+
+        assert mean_error(0.4) < mean_error(0.05)

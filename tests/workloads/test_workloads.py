@@ -1,0 +1,268 @@
+"""Unit tests for the workload generators."""
+
+import random
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.pollution import (
+    POLLUTANTS,
+    PollutantSubstream,
+    PollutionTraceSynthesizer,
+    pollutant_generators,
+)
+from repro.workloads.rates import RateSchedule, paper_rate_settings
+from repro.workloads.skew import SkewedMixture, paper_skewed_mixture
+from repro.workloads.source import Source, sources_from_schedule
+from repro.workloads.synthetic import (
+    GaussianSubstream,
+    PoissonSubstream,
+    paper_gaussian_substreams,
+    paper_poisson_substreams,
+)
+from repro.workloads.taxi import (
+    BOROUGHS,
+    BoroughSubstream,
+    TaxiTraceSynthesizer,
+)
+
+
+class TestSynthetic:
+    def test_paper_gaussian_parameters(self):
+        subs = {g.name: g for g in paper_gaussian_substreams()}
+        assert subs["A"].mu == 10.0 and subs["A"].sigma == 5.0
+        assert subs["D"].mu == 100000.0 and subs["D"].sigma == 5000.0
+
+    def test_paper_poisson_parameters(self):
+        subs = {g.name: g for g in paper_poisson_substreams()}
+        assert [subs[n].lam for n in "ABCD"] == [10.0, 100.0, 1000.0, 10000.0]
+
+    def test_gaussian_sample_mean(self):
+        gen = GaussianSubstream("X", 100.0, 5.0)
+        items = gen.generate(5000, random.Random(1))
+        mean = sum(i.value for i in items) / len(items)
+        assert mean == pytest.approx(100.0, rel=0.02)
+        assert all(i.substream == "X" for i in items)
+
+    def test_poisson_small_lambda_mean(self):
+        gen = PoissonSubstream("X", 10.0)
+        items = gen.generate(5000, random.Random(2))
+        mean = sum(i.value for i in items) / len(items)
+        assert mean == pytest.approx(10.0, rel=0.05)
+
+    def test_poisson_large_lambda_uses_normal_approx(self):
+        gen = PoissonSubstream("X", 10_000_000.0)
+        items = gen.generate(100, random.Random(3))
+        mean = sum(i.value for i in items) / len(items)
+        assert mean == pytest.approx(10_000_000.0, rel=0.01)
+        assert all(v.value >= 0 for v in items)
+
+    def test_emitted_at_propagates(self):
+        gen = GaussianSubstream("X", 1.0, 0.0)
+        items = gen.generate(3, random.Random(4), emitted_at=7.5)
+        assert all(i.emitted_at == 7.5 for i in items)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            GaussianSubstream("X", 0.0, -1.0)
+        with pytest.raises(WorkloadError):
+            PoissonSubstream("X", 0.0)
+        with pytest.raises(WorkloadError):
+            GaussianSubstream("X", 0.0, 1.0).generate(-1, random.Random())
+
+
+class TestRates:
+    def test_paper_settings(self):
+        settings = {s.name: s for s in paper_rate_settings()}
+        assert settings["Setting1"].rates == {
+            "A": 50_000.0, "B": 25_000.0, "C": 12_500.0, "D": 625.0
+        }
+        assert settings["Setting2"].total_rate == 100_000.0
+        assert settings["Setting3"].rates["A"] == 625.0
+
+    def test_scaling_preserves_ratios(self):
+        scaled = paper_rate_settings(scale=0.01)[0]
+        assert scaled.rates["A"] == 500.0
+        assert scaled.rates["A"] / scaled.rates["D"] == pytest.approx(80.0)
+
+    def test_counts_for_interval(self):
+        schedule = RateSchedule("s", {"a": 100.0, "b": 50.0})
+        assert schedule.counts_for_interval(2.0) == {"a": 200, "b": 100}
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            RateSchedule("s", {})
+        with pytest.raises(WorkloadError):
+            RateSchedule("s", {"a": -1.0})
+        schedule = RateSchedule("s", {"a": 1.0})
+        with pytest.raises(WorkloadError):
+            schedule.counts_for_interval(0.0)
+        with pytest.raises(WorkloadError):
+            schedule.scaled(0.0)
+
+
+class TestSkew:
+    def test_paper_mixture_proportions(self):
+        mixture = paper_skewed_mixture()
+        assert mixture.proportions == [0.80, 0.1989, 0.001, 0.0001]
+        assert [s.lam for s in mixture.substreams] == [
+            10.0, 100.0, 1000.0, 10_000_000.0
+        ]
+
+    def test_counts_sum_to_total(self):
+        mixture = paper_skewed_mixture()
+        counts = mixture.counts_for(100_000)
+        assert sum(counts.values()) == 100_000
+        assert counts["A"] == pytest.approx(80_000, abs=2)
+
+    def test_rare_stratum_always_present(self):
+        mixture = paper_skewed_mixture()
+        counts = mixture.counts_for(1000)
+        assert counts["D"] >= 1  # 0.01% of 1000 would round to 0
+
+    def test_generate_shuffles_and_tags(self):
+        mixture = paper_skewed_mixture()
+        items = mixture.generate(1000, random.Random(5))
+        assert len(items) == 1000
+        assert {i.substream for i in items} == {"A", "B", "C", "D"}
+
+    def test_validation(self):
+        sub = PoissonSubstream("A", 1.0)
+        with pytest.raises(WorkloadError):
+            SkewedMixture([sub], [0.5])  # doesn't sum to 1
+        with pytest.raises(WorkloadError):
+            SkewedMixture([sub], [0.5, 0.5])  # length mismatch
+
+
+class TestTaxi:
+    def test_ride_schema(self):
+        synth = TaxiTraceSynthesizer(seed=1)
+        ride = synth.ride(100.0)
+        assert ride.dropoff_datetime > ride.pickup_datetime
+        assert ride.total_amount >= ride.fare_amount
+        assert ride.borough in BOROUGHS
+        assert ride.fare_amount == pytest.approx(
+            2.50 + 2.50 * ride.trip_distance, abs=0.01
+        )
+
+    def test_generate_items_tags_boroughs(self):
+        synth = TaxiTraceSynthesizer(seed=2)
+        items = synth.generate_items(500)
+        assert all(i.substream.startswith("taxi/") for i in items)
+        manhattan = sum(
+            1 for i in items if i.substream == "taxi/manhattan"
+        )
+        assert manhattan > 250  # dominant borough
+
+    def test_rides_are_time_ordered(self):
+        synth = TaxiTraceSynthesizer(seed=3)
+        rides = synth.generate_rides(50, rate_per_second=10.0)
+        pickups = [r.pickup_datetime for r in rides]
+        assert pickups == sorted(pickups)
+
+    def test_borough_generator_protocol(self):
+        gen = BoroughSubstream("queens")
+        items = gen.generate(100, random.Random(6), emitted_at=1.0)
+        assert len(items) == 100
+        assert all(i.substream == "taxi/queens" for i in items)
+        assert all(i.value > 2.5 for i in items)  # flagfall floor
+
+    def test_borough_generators_cover_all(self):
+        gens = TaxiTraceSynthesizer.borough_generators()
+        assert set(gens) == {f"taxi/{b}" for b in BOROUGHS}
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            TaxiTraceSynthesizer(medallions=0)
+        with pytest.raises(WorkloadError):
+            BoroughSubstream("atlantis")
+
+
+class TestPollution:
+    def test_readings_cover_all_pollutants(self):
+        synth = PollutionTraceSynthesizer(seed=1, sensors_per_pollutant=3)
+        readings = synth.readings_at(0.0)
+        assert len(readings) == 3 * len(POLLUTANTS)
+        assert {r.pollutant for r in readings} == set(POLLUTANTS)
+
+    def test_values_stay_near_baseline(self):
+        """The stability property the paper notes for this dataset."""
+        gen = PollutantSubstream("pm")
+        items = gen.generate(2000, random.Random(7))
+        baseline = POLLUTANTS["pm"][0]
+        mean = sum(i.value for i in items) / len(items)
+        assert mean == pytest.approx(baseline, rel=0.2)
+        values = [i.value for i in items]
+        spread = (max(values) - min(values)) / baseline
+        assert spread < 1.0  # low relative variability
+
+    def test_pollution_less_variable_than_taxi(self):
+        """Why Fig. 11(a)'s pollution curve sits below the taxi curve."""
+        rng = random.Random(8)
+        taxi_values = [
+            i.value for i in BoroughSubstream("manhattan").generate(2000, rng)
+        ]
+        pollution_values = [
+            i.value for i in PollutantSubstream("pm").generate(2000, rng)
+        ]
+
+        def cv(values):
+            mean = sum(values) / len(values)
+            var = sum((v - mean) ** 2 for v in values) / len(values)
+            return var ** 0.5 / mean
+
+        assert cv(pollution_values) < cv(taxi_values) / 3
+
+    def test_generators_cover_all(self):
+        gens = pollutant_generators()
+        assert set(gens) == {f"pollution/{p}" for p in POLLUTANTS}
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            PollutionTraceSynthesizer(sensors_per_pollutant=0)
+        with pytest.raises(WorkloadError):
+            PollutantSubstream("plutonium")
+
+
+class TestSource:
+    def test_emit_interval_count_matches_rate(self):
+        gen = GaussianSubstream("X", 1.0, 0.0)
+        source = Source("s", gen, rate_per_second=100.0, rng=random.Random(9))
+        batch = source.emit_interval(0.0, 2.0)
+        assert len(batch) == 200
+        assert source.items_emitted == 200
+
+    def test_emission_times_spread_within_interval(self):
+        gen = GaussianSubstream("X", 1.0, 0.0)
+        source = Source("s", gen, 10.0, rng=random.Random(10))
+        batch = source.emit_interval(5.0, 1.0)
+        assert all(5.0 < item.emitted_at < 6.0 for item in batch)
+        times = [item.emitted_at for item in batch]
+        assert times == sorted(times)
+
+    def test_zero_rate_emits_nothing(self):
+        gen = GaussianSubstream("X", 1.0, 0.0)
+        source = Source("s", gen, 0.0)
+        assert source.emit_interval(0.0, 1.0) == []
+
+    def test_sources_from_schedule(self):
+        schedule = RateSchedule("s", {"A": 10.0, "B": 20.0})
+        gens = {"A": GaussianSubstream("A", 1.0, 0.0),
+                "B": GaussianSubstream("B", 1.0, 0.0)}
+        sources = sources_from_schedule(schedule, gens, seed=1)
+        assert len(sources) == 2
+        rates = sorted(s.rate_per_second for s in sources)
+        assert rates == [10.0, 20.0]
+
+    def test_missing_generator_rejected(self):
+        schedule = RateSchedule("s", {"A": 10.0})
+        with pytest.raises(WorkloadError):
+            sources_from_schedule(schedule, {}, seed=1)
+
+    def test_validation(self):
+        gen = GaussianSubstream("X", 1.0, 0.0)
+        with pytest.raises(WorkloadError):
+            Source("s", gen, -1.0)
+        source = Source("s", gen, 1.0)
+        with pytest.raises(WorkloadError):
+            source.emit_interval(0.0, 0.0)
