@@ -9,13 +9,28 @@ series on disk.
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
 from repro.experiments.base import ExperimentScale
 
-RESULTS_PATH = pathlib.Path(__file__).parent / "results.txt"
+BENCH_DIR = pathlib.Path(__file__).parent
+RESULTS_PATH = BENCH_DIR / "results.txt"
+
+#: Benchmark modules whose tests actually reached their call phase this
+#: session. Collection-time snapshots are useless here: -k/-m
+#: deselection happens after conftest collection hooks, and an
+#: interrupted session never reports the missing modules at all.
+_RAN_BENCH_MODULES: set[str] = set()
+
+
+def pytest_runtest_logreport(report):
+    if report.when == "call":
+        name = pathlib.Path(str(report.fspath)).name
+        if name.startswith("test_bench_"):
+            _RAN_BENCH_MODULES.add(name)
 
 
 @pytest.fixture(scope="session")
@@ -24,13 +39,56 @@ def bench_scale() -> ExperimentScale:
     return ExperimentScale.bench()
 
 
+def _split_tables(text: str) -> list[str]:
+    """Rendered tables as blocks (they are separated by blank lines)."""
+    return [block for block in text.split("\n\n") if block.strip()]
+
+
+def _merge_tables(existing: str, fresh: list[str]) -> str:
+    """Update same-titled tables in place, append new ones at the end.
+
+    A table's identity is its title (first line), so a selective run —
+    ``pytest benchmarks/test_bench_fig5.py`` — refreshes only the
+    tables it regenerated and leaves every other published table
+    untouched.
+    """
+    by_title = {block.splitlines()[0]: block for block in fresh}
+    merged = [
+        by_title.pop(block.splitlines()[0], block)
+        for block in _split_tables(existing)
+    ]
+    merged.extend(by_title.values())
+    return "\n\n".join(merged) + "\n\n"
+
+
 @pytest.fixture(scope="session")
-def results_sink():
-    """Append rendered tables to the session's results file."""
-    RESULTS_PATH.write_text("")
+def results_sink(request):
+    """Append rendered tables to the session's results file.
+
+    Tables accumulate in a scratch file next to the target and
+    ``results.txt`` is swapped atomically at session end, so an
+    interrupted session never truncates the previously published
+    tables. A complete, green benchmark session publishes exactly its
+    own tables (pruning tables whose benchmark was renamed or
+    removed); a partial or failing session merges by table title,
+    refreshing only what it regenerated.
+    """
+    scratch = RESULTS_PATH.with_name(RESULTS_PATH.name + ".tmp")
+    scratch.write_text("")
 
     def sink(text: str) -> None:
-        with RESULTS_PATH.open("a") as handle:
+        with scratch.open("a") as handle:
             handle.write(text + "\n\n")
 
-    return sink
+    yield sink
+
+    fresh = _split_tables(scratch.read_text())
+    if not fresh:
+        scratch.unlink()
+        return
+    all_modules = {path.name for path in BENCH_DIR.glob("test_bench_*.py")}
+    complete = _RAN_BENCH_MODULES >= all_modules
+    if not (complete and request.session.testsfailed == 0):
+        existing = RESULTS_PATH.read_text() if RESULTS_PATH.exists() else ""
+        scratch.write_text(_merge_tables(existing, fresh))
+    os.replace(scratch, RESULTS_PATH)

@@ -120,22 +120,28 @@ def test_ablation_allocation_policies(benchmark, results_sink):
     """Ablation 3: fair-fill dominates under heterogeneous rates."""
 
     def run():
-        gens = {
-            "big": PoissonSubstream("big", 1000.0),
-            "rare": PoissonSubstream("rare", 1_000_000.0),
-        }
-        schedule = RateSchedule("ab", {"big": 3000.0, "rare": 8.0})
         losses = {}
         for policy, name in (
             (allocate_fair_fill, "fair_fill"),
             (allocate_equal, "equal"),
             (allocate_proportional, "proportional"),
         ):
-            config = PipelineConfig(sampling_fraction=0.1, seed=9)
-            config.allocation_policy = policy
-            runner = StatisticalRunner(config, schedule, gens)
-            outcome = runner.run(10)
-            losses[name] = outcome.mean_approxiot_loss
+            # Average across seeds: the fair-fill edge over proportional
+            # is modest at this scale (the 1-slot floor keeps the rare
+            # stratum alive even under proportional), so a single seeded
+            # run can order the policies either way on any backend.
+            per_seed = []
+            for seed in range(5):
+                gens = {
+                    "big": PoissonSubstream("big", 1000.0),
+                    "rare": PoissonSubstream("rare", 1_000_000.0),
+                }
+                schedule = RateSchedule("ab", {"big": 3000.0, "rare": 8.0})
+                config = PipelineConfig(sampling_fraction=0.1, seed=seed)
+                config.allocation_policy = policy
+                runner = StatisticalRunner(config, schedule, gens)
+                per_seed.append(runner.run(20).mean_approxiot_loss)
+            losses[name] = sum(per_seed) / len(per_seed)
         return losses
 
     losses = benchmark.pedantic(run, rounds=1, iterations=1)

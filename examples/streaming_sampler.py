@@ -30,12 +30,29 @@ class WHSampProcessor(Processor):
 
     def __init__(self, sample_size: int, interval: float, seed: int = 0) -> None:
         super().__init__("whsamp")
-        self._sampler = WeightedHierarchicalSampler(
-            sample_size, rng=random.Random(seed)
-        )
+        self._sample_size = sample_size
+        self._seed = seed
+        self._sampler: WeightedHierarchicalSampler | None = None
         self._interval = interval
         self._buffer: list[Any] = []
         self._next_boundary = interval
+
+    def init(self) -> None:
+        # The runtime resolves the sampling backend once and publishes
+        # it on every processor context before init() runs; building
+        # the sampler here picks it up (vectorized when numpy is in).
+        self._ensure_sampler()
+
+    def _ensure_sampler(self) -> WeightedHierarchicalSampler:
+        # Lazy so the processor also works standalone (no runtime, no
+        # init() call) on the context's default backend.
+        if self._sampler is None:
+            self._sampler = WeightedHierarchicalSampler(
+                self._sample_size,
+                rng=random.Random(self._seed),
+                backend=self.context.sampling_backend,
+            )
+        return self._sampler
 
     def process(self, key: Any, value: Any) -> None:
         self._buffer.append(value)
@@ -52,7 +69,7 @@ class WHSampProcessor(Processor):
         if not self._buffer:
             return
         batch, self._buffer = self._buffer, []
-        result = self._sampler.process_interval(batch)
+        result = self._ensure_sampler().process_interval(batch)
         for weighted in result.batches:
             self.context.forward(weighted.substream, weighted)
 

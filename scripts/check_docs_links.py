@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Offline link-check for the project documentation.
+
+Validates every markdown link in README.md and docs/**/*.md:
+
+* relative file links must point at an existing file or directory;
+* ``#anchor`` fragments (same-file or on a relative markdown target)
+  must match a heading in the target document (GitHub slug rules,
+  simplified);
+* external ``http(s)``/``mailto`` links are reported but not fetched,
+  keeping the check deterministic and network-free.
+
+Exit status is non-zero if any link is broken, so CI can gate on it.
+
+Usage: python scripts/check_docs_links.py [file-or-dir ...]
+       (defaults to README.md and docs/)
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+# [text](target) — excluding images' leading "!" is unnecessary: image
+# targets are checked the same way. Nested parens are not used in our docs.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading (simplified but sufficient)."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(markdown: str) -> set[str]:
+    without_code = CODE_FENCE_RE.sub("", markdown)
+    return {github_slug(m.group(1)) for m in HEADING_RE.finditer(without_code)}
+
+
+def collect_files(arguments: list[str]) -> list[pathlib.Path]:
+    roots = [pathlib.Path(argument) for argument in arguments]
+    if not roots:
+        roots = [REPO_ROOT / "README.md", REPO_ROOT / "docs"]
+    files: list[pathlib.Path] = []
+    for root in roots:
+        path = root.resolve()
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.exists():
+            files.append(path)
+        else:
+            print(f"error: no such file or directory: {root}")
+            raise SystemExit(2)
+    return files
+
+
+def check_file(source: pathlib.Path) -> list[str]:
+    markdown = source.read_text()
+    own_slugs = heading_slugs(markdown)
+    errors: list[str] = []
+    external = 0
+    for match in LINK_RE.finditer(CODE_FENCE_RE.sub("", markdown)):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            external += 1
+            continue
+        path_part, _, fragment = target.partition("#")
+        if not path_part:  # same-file anchor
+            if fragment and github_slug(fragment) not in own_slugs:
+                errors.append(f"{source}: broken anchor #{fragment}")
+            continue
+        resolved = (source.parent / path_part).resolve()
+        if not resolved.exists():
+            errors.append(f"{source}: broken link {target}")
+            continue
+        if fragment:
+            if resolved.suffix.lower() != ".md":
+                errors.append(
+                    f"{source}: anchor on non-markdown target {target}"
+                )
+            elif github_slug(fragment) not in heading_slugs(
+                resolved.read_text()
+            ):
+                errors.append(f"{source}: broken anchor {target}")
+    try:
+        label: pathlib.Path | str = source.relative_to(REPO_ROOT)
+    except ValueError:
+        label = source
+    print(f"checked {label} ({external} external links skipped)")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    errors: list[str] = []
+    for path in collect_files(argv):
+        errors.extend(check_file(path))
+    if errors:
+        print("\n".join(["", *errors]))
+        print(f"\n{len(errors)} broken link(s)")
+        return 1
+    print("all documentation links OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

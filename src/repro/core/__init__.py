@@ -25,6 +25,13 @@ from repro.core.estimator import (
     estimate_mean,
     estimate_sum,
 )
+from repro.core.fastpath import (
+    BACKENDS,
+    NumpyReservoirSampler,
+    make_reservoir_sampler,
+    numpy_available,
+    resolve_backend,
+)
 from repro.core.items import StreamItem, WeightedBatch, group_by_substream
 from repro.core.node import QueryResult, RootNode, SamplingNode
 from repro.core.reservoir import (
@@ -46,8 +53,10 @@ from repro.core.worker import ParallelSamplingNode, SubstreamWorker, WorkerPool
 __all__ = [
     "AdaptiveErrorBudget",
     "ApproximateResult",
+    "BACKENDS",
     "CoinFlipSampler",
     "FractionBudget",
+    "NumpyReservoirSampler",
     "ParallelSamplingNode",
     "QueryResult",
     "ReservoirSampler",
@@ -76,9 +85,12 @@ __all__ = [
     "group_by_substream",
     "horvitz_thompson_sum",
     "local_weight",
+    "make_reservoir_sampler",
     "mean_variance",
+    "numpy_available",
     "output_weight",
     "reservoir_sample",
+    "resolve_backend",
     "sample_variance",
     "srs_sample",
     "substream_sum_variance",

@@ -24,9 +24,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from statistics import NormalDist
 from typing import Mapping
-
-from scipy import stats as _scipy_stats
 
 from repro.core.estimator import SubstreamEstimate, ThetaStore
 from repro.errors import EstimationError
@@ -157,7 +156,9 @@ def confidence_multiplier(confidence: float) -> float:
         raise EstimationError(
             f"confidence must be in (0, 1), got {confidence}"
         )
-    return float(_scipy_stats.norm.ppf(0.5 + confidence / 2.0))
+    # Wichura's AS241 via the stdlib — identical to scipy's norm.ppf
+    # to ~1e-15, and keeps the base install dependency-free.
+    return float(NormalDist().inv_cdf(0.5 + confidence / 2.0))
 
 
 def estimate_sum_with_error(

@@ -28,6 +28,7 @@ from repro.core.error_bounds import (
     estimate_sum_with_error,
 )
 from repro.core.estimator import ThetaStore
+from repro.core.fastpath import BACKEND_AUTO, resolve_backend
 from repro.core.items import StreamItem, WeightedBatch
 from repro.core.stratified import AllocationPolicy, allocate_fair_fill
 from repro.core.whs import WHSampResult, whsamp_batches
@@ -66,6 +67,7 @@ class _NodeBase:
         *,
         policy: AllocationPolicy = allocate_fair_fill,
         rng: random.Random | None = None,
+        backend: str = BACKEND_AUTO,
     ) -> None:
         if sample_size <= 0:
             raise PipelineError(f"sample size must be positive, got {sample_size}")
@@ -73,6 +75,7 @@ class _NodeBase:
         self._sample_size = int(sample_size)
         self._policy = policy
         self._rng = rng if rng is not None else random.Random()
+        self._backend = resolve_backend(backend)
         self._weights = WeightMap()
         self._psi: list[WeightedBatch] = []
         self.intervals_processed = 0
@@ -87,6 +90,11 @@ class _NodeBase:
         if value <= 0:
             raise PipelineError(f"sample size must be positive, got {value}")
         self._sample_size = int(value)
+
+    @property
+    def backend(self) -> str:
+        """Resolved sampling backend (``"python"`` or ``"numpy"``)."""
+        return self._backend
 
     @property
     def weights(self) -> WeightMap:
@@ -132,6 +140,7 @@ class _NodeBase:
             self._sample_size,
             policy=self._policy,
             rng=self._rng,
+            backend=self._backend,
         )
         # The node's weight map tracks *received* weights only (updated
         # in receive()); its own output weights never feed back, per
@@ -156,8 +165,9 @@ class SamplingNode(_NodeBase):
         *,
         policy: AllocationPolicy = allocate_fair_fill,
         rng: random.Random | None = None,
+        backend: str = BACKEND_AUTO,
     ) -> None:
-        super().__init__(name, sample_size, policy=policy, rng=rng)
+        super().__init__(name, sample_size, policy=policy, rng=rng, backend=backend)
         self._forward = forward
 
     def close_interval(self) -> WHSampResult:
@@ -179,8 +189,9 @@ class RootNode(_NodeBase):
         confidence: float = 0.95,
         policy: AllocationPolicy = allocate_fair_fill,
         rng: random.Random | None = None,
+        backend: str = BACKEND_AUTO,
     ) -> None:
-        super().__init__(name, sample_size, policy=policy, rng=rng)
+        super().__init__(name, sample_size, policy=policy, rng=rng, backend=backend)
         self._confidence = confidence
         self._theta = ThetaStore()
         self._windows_closed = 0

@@ -146,14 +146,26 @@ class SkipAheadReservoirSampler(ReservoirSampler[T]):
 
 
 def reservoir_sample(
-    items: Sequence[T], capacity: int, rng: random.Random | None = None
+    items: Sequence[T],
+    capacity: int,
+    rng: random.Random | None = None,
+    *,
+    backend: str = "python",
 ) -> list[T]:
     """One-shot reservoir sample of ``capacity`` items from a sequence.
 
     Convenience wrapper used by Algorithm 1's ``RS(S_i, N_i)`` call when
-    the per-interval sub-stream is already materialised.
+    the per-interval sub-stream is already materialised. ``backend``
+    selects the sampling implementation (see
+    :mod:`repro.core.fastpath`); the default stays pure Python so seeded
+    callers keep bit-for-bit reproducibility with older revisions.
     """
-    sampler: ReservoirSampler[T] = ReservoirSampler(capacity, rng)
+    # Imported lazily: fastpath imports ReservoirSampler from this module.
+    from repro.core.fastpath import make_reservoir_sampler
+
+    sampler: ReservoirSampler[T] = make_reservoir_sampler(
+        capacity, rng, backend=backend
+    )
     sampler.extend(items)
     return sampler.sample()
 

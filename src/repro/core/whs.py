@@ -22,6 +22,14 @@ import random
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
+from repro.core.fastpath import (
+    BACKEND_AUTO,
+    BACKEND_NUMPY,
+    BACKEND_PYTHON,
+    make_generator,
+    resolve_backend,
+    sample_materialized,
+)
 from repro.core.items import StreamItem, WeightedBatch, group_by_substream
 from repro.core.reservoir import ReservoirSampler
 from repro.core.stratified import AllocationPolicy, allocate_fair_fill
@@ -70,6 +78,7 @@ def whsamp_batches(
     *,
     policy: AllocationPolicy = allocate_fair_fill,
     rng: random.Random | None = None,
+    backend: str = BACKEND_PYTHON,
 ) -> WHSampResult:
     """Run Algorithm 1 over the interval's ``(W_in, items)`` pairs.
 
@@ -90,10 +99,16 @@ def whsamp_batches(
     of that sub-stream's largest group — the "up-to-date weight" used
     by the stale-weight rule of Figure 3 when later items arrive
     without metadata.
+
+    ``backend`` selects the per-group sampling kernel (see
+    :mod:`repro.core.fastpath`): the pure-Python reservoir loop (the
+    bit-for-bit default) or the vectorized numpy survivor-set draw.
+    Both satisfy the Eq. 8 invariant exactly.
     """
     if sample_size <= 0:
         raise SamplingError(f"sample size must be positive, got {sample_size}")
     rng = rng if rng is not None else random.Random()
+    backend = resolve_backend(backend)
 
     groups: dict[tuple[str, float], list[StreamItem]] = {}
     for batch in batches:
@@ -105,6 +120,9 @@ def whsamp_batches(
     result = WHSampResult()
     if not groups:
         return result
+    # Built only when there is work: an empty interval must neither pay
+    # Generator setup nor consume entropy from the caller's rng.
+    gen = make_generator(rng) if backend == BACKEND_NUMPY else None
 
     counts = {key: len(items) for key, items in groups.items()}
     allocation = policy(sample_size, counts)  # line 7: getSampleSize
@@ -112,9 +130,14 @@ def whsamp_batches(
     for (substream, w_in), group_items in groups.items():
         key = (substream, w_in)
         capacity = allocation[key]
-        sampler: ReservoirSampler[StreamItem] = ReservoirSampler(capacity, rng)
-        sampler.extend(group_items)  # line 10: RS(S_i, N_i)
-        sampled = sampler.sample()
+        if gen is not None:  # line 10: RS(S_i, N_i), vectorized
+            sampled = sample_materialized(group_items, capacity, gen)
+        else:  # line 10: RS(S_i, N_i), per-item Algorithm R
+            sampler: ReservoirSampler[StreamItem] = ReservoirSampler(
+                capacity, rng
+            )
+            sampler.extend(group_items)
+            sampled = sampler.sample()
         w_out = output_weight(w_in, counts[key], capacity)  # Eq. 1-2
         result.batches.append(WeightedBatch(substream, w_out, sampled))
         result.seen[substream] = result.seen.get(substream, 0) + counts[key]
@@ -134,6 +157,7 @@ def whsamp(
     *,
     policy: AllocationPolicy = allocate_fair_fill,
     rng: random.Random | None = None,
+    backend: str = BACKEND_PYTHON,
 ) -> WHSampResult:
     """Run Algorithm 1 over one interval's arrivals.
 
@@ -149,6 +173,8 @@ def whsamp(
             different intervals, which this map encodes naturally.
         policy: The ``getSampleSize`` budget-split policy.
         rng: Random source (pass a seeded instance for reproducibility).
+        backend: Sampling kernel selection (``"python"`` / ``"numpy"``
+            / ``"auto"``, see :mod:`repro.core.fastpath`).
 
     Returns:
         A :class:`WHSampResult` with the sampled batches and ``W_out``.
@@ -165,7 +191,9 @@ def whsamp(
         WeightedBatch(substream, weights_in.get(substream), sub_items)
         for substream, sub_items in substreams.items()
     ]
-    result = whsamp_batches(pairs, sample_size, policy=policy, rng=rng)
+    result = whsamp_batches(
+        pairs, sample_size, policy=policy, rng=rng, backend=backend
+    )
     # The caller's full weight map rolls forward: sub-streams absent
     # from this interval keep their stale weights (Figure 3's rule).
     merged = weights_in.copy()
@@ -194,12 +222,14 @@ class WeightedHierarchicalSampler:
         *,
         policy: AllocationPolicy = allocate_fair_fill,
         rng: random.Random | None = None,
+        backend: str = BACKEND_AUTO,
     ) -> None:
         if sample_size <= 0:
             raise SamplingError(f"sample size must be positive, got {sample_size}")
         self._sample_size = int(sample_size)
         self._policy = policy
         self._rng = rng if rng is not None else random.Random()
+        self._backend = resolve_backend(backend)
         self._weights = WeightMap()
 
     @property
@@ -212,6 +242,11 @@ class WeightedHierarchicalSampler:
         if value <= 0:
             raise SamplingError(f"sample size must be positive, got {value}")
         self._sample_size = int(value)
+
+    @property
+    def backend(self) -> str:
+        """The resolved sampling backend (``"python"`` or ``"numpy"``)."""
+        return self._backend
 
     @property
     def weights(self) -> WeightMap:
@@ -230,4 +265,5 @@ class WeightedHierarchicalSampler:
             self._weights,
             policy=self._policy,
             rng=self._rng,
+            backend=self._backend,
         )

@@ -17,6 +17,11 @@ from __future__ import annotations
 import random
 from typing import Callable, Iterable, Mapping, Sequence
 
+from repro.core.fastpath import (
+    BACKEND_PYTHON,
+    make_reservoir_sampler,
+    resolve_backend,
+)
 from repro.core.items import StreamItem, WeightedBatch
 from repro.core.reservoir import ReservoirSampler
 from repro.core.weights import WeightMap, output_weight
@@ -26,18 +31,27 @@ __all__ = ["ParallelSamplingNode", "SubstreamWorker", "WorkerPool"]
 
 
 class SubstreamWorker:
-    """One worker's local reservoir and counter for a single sub-stream."""
+    """One worker's local reservoir and counter for a single sub-stream.
+
+    ``backend`` selects the reservoir implementation. The default stays
+    pure Python: the pool routes items one at a time (round-robin), and
+    the vectorized backend only pays off when fed in batches.
+    """
 
     def __init__(
         self,
         substream: str,
         capacity: int,
         rng: random.Random | None = None,
+        *,
+        backend: str = BACKEND_PYTHON,
     ) -> None:
         if capacity <= 0:
             raise SamplingError(f"worker capacity must be >= 1, got {capacity}")
         self.substream = substream
-        self._sampler: ReservoirSampler[StreamItem] = ReservoirSampler(capacity, rng)
+        self._sampler: ReservoirSampler[StreamItem] = make_reservoir_sampler(
+            capacity, rng, backend=backend
+        )
 
     @property
     def seen(self) -> int:
@@ -82,6 +96,7 @@ class WorkerPool:
         worker_count: int,
         *,
         rng: random.Random | None = None,
+        backend: str = BACKEND_PYTHON,
     ) -> None:
         if worker_count <= 0:
             raise SamplingError(f"worker count must be >= 1, got {worker_count}")
@@ -98,6 +113,7 @@ class WorkerPool:
                 substream,
                 per_worker,
                 random.Random(seed_rng.getrandbits(64)),
+                backend=backend,
             )
             for _ in range(worker_count)
         ]
@@ -154,6 +170,7 @@ class ParallelSamplingNode:
         forward: Callable[[WeightedBatch], None],
         *,
         rng: random.Random | None = None,
+        backend: str = BACKEND_PYTHON,
     ) -> None:
         if per_substream_capacity < worker_count:
             raise SamplingError(
@@ -164,6 +181,9 @@ class ParallelSamplingNode:
         self._capacity = per_substream_capacity
         self._worker_count = worker_count
         self._forward = forward
+        # Resolve eagerly: pools are built lazily per sub-stream, and a
+        # bad backend should fail here, not mid-stream.
+        self._backend = resolve_backend(backend)
         self._rng = rng if rng is not None else random.Random()
         self._pools: dict[str, WorkerPool] = {}
         self._weights = WeightMap()
@@ -188,6 +208,7 @@ class ParallelSamplingNode:
                     self._capacity,
                     self._worker_count,
                     rng=random.Random(self._rng.getrandbits(64)),
+                    backend=self._backend,
                 )
                 self._pools[item.substream] = pool
             pool.offer(item)

@@ -24,6 +24,10 @@ class ProcessorContext:
         self._children: list[Processor] = []
         self._stores: dict[str, Any] = {}
         self.stream_time = 0.0
+        #: Resolved sampling backend ("python" / "numpy") for sampling
+        #: processors plugged into the DSL; set by the runtime before
+        #: ``init()`` runs (see ``StreamsRuntime(sampling_backend=...)``).
+        self.sampling_backend = "python"
 
     def add_child(self, child: "Processor") -> None:
         """Wire a downstream processor (topology construction only)."""

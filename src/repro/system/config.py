@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
+from repro.core.fastpath import BACKENDS, resolve_backend
 from repro.core.stratified import AllocationPolicy, allocate_fair_fill
 from repro.errors import ConfigurationError
 from repro.topology.placement import PlacementSpec
@@ -36,6 +37,9 @@ class PipelineConfig:
         allocation_policy: ``getSampleSize`` policy for WHSamp.
         confidence: Confidence level for reported error bounds.
         seed: Seed for all randomness in a run.
+        backend: Sampling kernel — ``"python"``, ``"numpy"`` or
+            ``"auto"`` (default; uses numpy when installed, e.g. via
+            the ``[fast]`` extra, and pure Python otherwise).
     """
 
     sampling_fraction: float = 0.1
@@ -48,6 +52,7 @@ class PipelineConfig:
     allocation_policy: AllocationPolicy = allocate_fair_fill
     confidence: float = 0.95
     seed: int = 42
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         if not 0.0 < self.sampling_fraction <= 1.0:
@@ -67,29 +72,28 @@ class PipelineConfig:
             raise ConfigurationError(
                 f"confidence must be in (0, 1), got {self.confidence}"
             )
+        if self.backend not in BACKENDS:
+            raise ConfigurationError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+
+    @property
+    def resolved_backend(self) -> str:
+        """The concrete sampling backend this config runs on.
+
+        Resolves ``"auto"`` against the current environment; raises
+        if ``"numpy"`` was requested explicitly but is unavailable.
+        """
+        return resolve_backend(self.backend)
 
     def with_mode(self, mode: str) -> "PipelineConfig":
         """A copy of this config running a different system."""
-        return PipelineConfig(
-            sampling_fraction=self.sampling_fraction,
-            window_seconds=self.window_seconds,
-            mode=mode,
-            tree=self.tree,
-            placement=self.placement,
-            allocation_policy=self.allocation_policy,
-            confidence=self.confidence,
-            seed=self.seed,
-        )
+        return replace(self, mode=mode)
 
     def with_fraction(self, fraction: float) -> "PipelineConfig":
         """A copy of this config at a different sampling fraction."""
-        return PipelineConfig(
-            sampling_fraction=fraction,
-            window_seconds=self.window_seconds,
-            mode=self.mode,
-            tree=self.tree,
-            placement=self.placement,
-            allocation_policy=self.allocation_policy,
-            confidence=self.confidence,
-            seed=self.seed,
-        )
+        return replace(self, sampling_fraction=fraction)
+
+    def with_backend(self, backend: str) -> "PipelineConfig":
+        """A copy of this config on a different sampling backend."""
+        return replace(self, backend=backend)

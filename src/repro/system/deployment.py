@@ -110,6 +110,7 @@ class DeploymentSimulator:
         self._schedule = schedule
         self._n_windows = n_windows
         self._tree = config.tree
+        self._backend = config.resolved_backend
         self._rng = random.Random(config.seed)
         self._network = place_tree(self._tree, config.placement)
         self._clock = self._network.clock
@@ -348,6 +349,7 @@ class DeploymentSimulator:
             state.budget,
             policy=self._config.allocation_policy,
             rng=self._rng,
+            backend=self._backend,
         )
         if state.node.name == "root":
             now = self._clock.now

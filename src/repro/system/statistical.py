@@ -111,6 +111,7 @@ class StatisticalRunner:
         self._config = config
         self._schedule = schedule
         self._tree = config.tree
+        self._backend = config.resolved_backend
         self._rng = random.Random(config.seed)
         self._sources = self._build_sources(schedule, generators)
         self._source_rates = {
@@ -246,6 +247,7 @@ class StatisticalRunner:
                 self._node_budget(node.name),
                 policy=self._config.allocation_policy,
                 rng=self._rng,
+                backend=self._backend,
             )
             if node.name == "root":
                 theta.extend(result.batches)

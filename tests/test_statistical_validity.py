@@ -10,7 +10,10 @@ import random
 from collections import Counter
 
 import pytest
-from scipy import stats as scipy_stats
+
+scipy_stats = pytest.importorskip(
+    "scipy.stats", reason="statistical validity checks need scipy"
+)
 
 from repro.core.reservoir import ReservoirSampler, SkipAheadReservoirSampler
 from repro.system.config import PipelineConfig
