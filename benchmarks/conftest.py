@@ -5,6 +5,11 @@ bench scale, asserts the paper's qualitative shape, and appends the
 rendered paper-style table to ``benchmarks/results.txt`` so a
 ``pytest benchmarks/ --benchmark-only`` run leaves the full set of
 series on disk.
+
+``REPRO_BENCH_SCALE=quick`` shrinks every benchmark to the unit-test
+sizing — CI's smoke job uses it so the harness and the fastpath
+kernels cannot rot between perf PRs. Quick sessions never touch
+``results.txt``: only bench-scale numbers are published.
 """
 
 from __future__ import annotations
@@ -33,10 +38,26 @@ def pytest_runtest_logreport(report):
             _RAN_BENCH_MODULES.add(name)
 
 
+_SCALES = {
+    "quick": ExperimentScale.quick,
+    "bench": ExperimentScale.bench,
+}
+
+
+def _scale_name() -> str:
+    name = os.environ.get("REPRO_BENCH_SCALE", "bench")
+    if name not in _SCALES:
+        raise pytest.UsageError(
+            f"REPRO_BENCH_SCALE must be one of {sorted(_SCALES)}, "
+            f"got {name!r}"
+        )
+    return name
+
+
 @pytest.fixture(scope="session")
 def bench_scale() -> ExperimentScale:
     """The sizing every figure benchmark runs at."""
-    return ExperimentScale.bench()
+    return _SCALES[_scale_name()]()
 
 
 def _split_tables(text: str) -> list[str]:
@@ -82,6 +103,9 @@ def results_sink(request):
 
     yield sink
 
+    if _scale_name() != "bench":  # smoke runs publish nothing
+        scratch.unlink()
+        return
     fresh = _split_tables(scratch.read_text())
     if not fresh:
         scratch.unlink()

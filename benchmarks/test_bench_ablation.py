@@ -137,8 +137,10 @@ def test_ablation_allocation_policies(benchmark, results_sink):
                     "rare": PoissonSubstream("rare", 1_000_000.0),
                 }
                 schedule = RateSchedule("ab", {"big": 3000.0, "rare": 8.0})
-                config = PipelineConfig(sampling_fraction=0.1, seed=seed)
-                config.allocation_policy = policy
+                config = PipelineConfig(
+                    sampling_fraction=0.1, seed=seed,
+                    allocation_policy=policy,
+                )
                 runner = StatisticalRunner(config, schedule, gens)
                 per_seed.append(runner.run(20).mean_approxiot_loss)
             losses[name] = sum(per_seed) / len(per_seed)

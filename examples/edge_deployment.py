@@ -39,6 +39,10 @@ def main() -> None:
             mode=mode,
             placement=placement,
             seed=scale.seed,
+            # Batches ride broker topics fed over the simulated WAN
+            # links; "broker" instead would model an ideal (free)
+            # network for ablations.
+            transport="simnet",
         )
         simulator = DeploymentSimulator(
             config, schedule, generators, n_windows=10

@@ -2,8 +2,10 @@
 
 Commands:
 
-* ``figures [ids...] [--scale quick|bench]`` — regenerate the paper's
-  evaluation figures as text tables (all of them by default).
+* ``figures [ids...] [--scale quick|bench] [--backend ...]
+  [--transport ...]`` — regenerate the paper's evaluation figures as
+  text tables (all of them by default) on the selected sampling
+  backend and inter-node transport.
 * ``list`` — list the available figures with descriptions.
 * ``info`` — print the library version and subsystem inventory.
 """
@@ -12,12 +14,15 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from typing import Sequence
 
 from repro import __version__
+from repro.core.fastpath import BACKENDS
 from repro.errors import ReproError
 from repro.experiments.base import ExperimentScale
 from repro.experiments.figures import FIGURES, run_figure
+from repro.system.config import TRANSPORTS
 
 __all__ = ["build_parser", "main"]
 
@@ -32,7 +37,8 @@ _SUBSYSTEMS = [
     ("repro.streams", "Kafka-Streams-model processing engine"),
     ("repro.simnet", "discrete-event WAN/host simulator"),
     ("repro.topology", "logical tree + placement"),
-    ("repro.system", "assembled pipelines (statistical / deployment)"),
+    ("repro.engine", "unified execution engine (pipeline, transports)"),
+    ("repro.system", "runner facades (statistical / deployment)"),
     ("repro.workloads", "synthetic + real-world trace generators"),
     ("repro.queries", "linear, grouped, top-k and quantile queries"),
     ("repro.experiments", "per-figure evaluation harness"),
@@ -62,14 +68,31 @@ def build_parser() -> argparse.ArgumentParser:
         default="quick",
         help="experiment sizing (default: quick)",
     )
+    figures.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default="auto",
+        help="sampling kernel (default: auto — numpy when installed)",
+    )
+    figures.add_argument(
+        "--transport",
+        choices=sorted(TRANSPORTS),
+        default="auto",
+        help="inter-node transport (default: auto — in-process for "
+             "accuracy figures, simnet for deployment figures)",
+    )
 
     subparsers.add_parser("list", help="list available figures")
     subparsers.add_parser("info", help="print version and inventory")
     return parser
 
 
-def _cmd_figures(ids: list[str], scale_name: str) -> int:
-    scale = _SCALES[scale_name]()
+def _cmd_figures(
+    ids: list[str], scale_name: str, backend: str, transport: str
+) -> int:
+    scale = replace(
+        _SCALES[scale_name](), backend=backend, transport=transport
+    )
     targets = ids or sorted(FIGURES)
     for figure_id in targets:
         try:
@@ -102,7 +125,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         if args.command == "figures":
-            return _cmd_figures(args.ids, args.scale)
+            return _cmd_figures(
+                args.ids, args.scale, args.backend, args.transport
+            )
         if args.command == "list":
             return _cmd_list()
         return _cmd_info()

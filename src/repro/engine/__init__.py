@@ -1,0 +1,53 @@
+"""Unified execution engine: one pipeline, many transports and modes.
+
+The engine separates *what a run is* from *how it executes*:
+
+* :mod:`repro.engine.pipeline` assembles the node graph once —
+  sources, per-node budgets, resolved sampling backend — from a
+  :class:`~repro.system.config.PipelineConfig` and a rate schedule.
+* :mod:`repro.engine.transport` moves weighted batches between nodes:
+  in-process callbacks, broker topics, or simnet-backed broker links.
+* :mod:`repro.engine.runner` is the single windowed run loop with the
+  paper's three strategies (approxiot / srs / native).
+
+The public runners in :mod:`repro.system` are thin facades over this
+package: the :class:`~repro.system.statistical.StatisticalRunner`
+drives :class:`EngineRunner` directly, and the
+:class:`~repro.system.deployment.DeploymentSimulator` drives the same
+pipeline and sampling step from a discrete-event clock.
+"""
+
+from repro.engine.pipeline import Pipeline, build_pipeline
+from repro.engine.runner import (
+    ApproxIoTWindow,
+    EngineRunner,
+    RunOutcome,
+    WindowOutcome,
+    accuracy_loss,
+    sample_interval,
+)
+from repro.engine.transport import (
+    BrokerTransport,
+    InProcessTransport,
+    SimnetBrokerTransport,
+    Transport,
+    make_statistical_transport,
+    topic_for,
+)
+
+__all__ = [
+    "ApproxIoTWindow",
+    "BrokerTransport",
+    "EngineRunner",
+    "InProcessTransport",
+    "Pipeline",
+    "RunOutcome",
+    "SimnetBrokerTransport",
+    "Transport",
+    "WindowOutcome",
+    "accuracy_loss",
+    "build_pipeline",
+    "make_statistical_transport",
+    "sample_interval",
+    "topic_for",
+]

@@ -1,0 +1,161 @@
+"""Pipeline assembly — the node graph built once, shared by all modes.
+
+Both execution engines (the algorithmic :class:`StatisticalRunner` and
+the discrete-event :class:`DeploymentSimulator`) run the same logical
+object: a tree of sampling nodes fed by rate-scheduled sources, each
+node holding a per-interval sample budget derived from the cost
+function. :func:`build_pipeline` materialises that object exactly once
+per run — sources wired to sub-streams, per-node budgets sized from
+subtree rates, the sampling backend resolved — so the facades never
+re-derive any of it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.cost import FractionBudget
+from repro.errors import PipelineError
+from repro.topology.tree import LogicalTree, TreeNode
+from repro.workloads.rates import RateSchedule
+from repro.workloads.source import ItemGenerator, Source
+
+if TYPE_CHECKING:  # circular at runtime: repro.system facades import us
+    from repro.system.config import PipelineConfig
+
+__all__ = ["Pipeline", "build_pipeline"]
+
+
+@dataclass(slots=True)
+class Pipeline:
+    """One assembled run: tree + sources + budgets + resolved backend.
+
+    Attributes:
+        config: The run's configuration (immutable).
+        tree: The logical tree the run executes on.
+        backend: The sampling backend, resolved once at assembly
+            (``config.resolved_backend`` cached for the whole run).
+        rng: The run's random source. Sources received derived seeds
+            from this generator during assembly; every subsequent
+            sampling decision draws from it in execution order.
+        sources: One :class:`~repro.workloads.source.Source` per source
+            node, keyed by node name.
+        source_rates: Per-source emission rate (items/second).
+        budgets: Per-interval sample budget for every sampling node,
+            sized so the node passes on ``sampling_fraction`` of its
+            subtree's original volume.
+    """
+
+    config: PipelineConfig
+    tree: LogicalTree
+    backend: str
+    rng: random.Random
+    sources: dict[str, Source] = field(default_factory=dict)
+    source_rates: dict[str, float] = field(default_factory=dict)
+    budgets: dict[str, int] = field(default_factory=dict)
+
+    def budget(self, node_name: str) -> int:
+        """A sampling node's per-interval sample budget."""
+        try:
+            return self.budgets[node_name]
+        except KeyError:
+            raise PipelineError(
+                f"no budget for node {node_name!r}; is it a sampling node?"
+            ) from None
+
+    def subtree_rate(self, node_name: str) -> float:
+        """Aggregate source rate (items/s) feeding a node's subtree."""
+        return sum(
+            self.source_rates[source.name]
+            for source in self.tree.sources
+            if node_name in self.tree.path_to_root(source.name)
+        )
+
+    def emit_window(self, window_start: float) -> dict[str, list]:
+        """One window's emissions, keyed by source node name.
+
+        Sources are driven in tree order so a seeded run is
+        deterministic regardless of the transport in use.
+        """
+        return {
+            node.name: self.sources[node.name].emit_interval(
+                window_start, self.config.window_seconds
+            )
+            for node in self.tree.sources
+        }
+
+
+def _build_sources(
+    tree: LogicalTree,
+    schedule: RateSchedule,
+    generators: dict[str, ItemGenerator],
+    rng: random.Random,
+) -> dict[str, Source]:
+    """Assign sub-streams round-robin across the tree's sources.
+
+    With 8 sources and 4 sub-streams each sub-stream is produced by
+    2 sources; the schedule's per-sub-stream rate is split evenly
+    among them.
+    """
+    substreams = sorted(schedule.rates)
+    missing = [s for s in substreams if s not in generators]
+    if missing:
+        raise PipelineError(f"no generators for sub-streams: {missing}")
+    source_nodes = tree.sources
+    owners: dict[str, list[TreeNode]] = {s: [] for s in substreams}
+    for index, node in enumerate(source_nodes):
+        owners[substreams[index % len(substreams)]].append(node)
+    sources: dict[str, Source] = {}
+    for substream, nodes in owners.items():
+        if not nodes:
+            raise PipelineError(
+                f"tree has fewer sources than sub-streams; "
+                f"{substream!r} has no producer"
+            )
+        per_source_rate = schedule.rates[substream] / len(nodes)
+        for node in nodes:
+            sources[node.name] = Source(
+                node.name,
+                generators[substream],
+                per_source_rate,
+                rng=random.Random(rng.getrandbits(64)),
+            )
+    return sources
+
+
+def build_pipeline(
+    config: PipelineConfig,
+    schedule: RateSchedule,
+    generators: dict[str, ItemGenerator],
+) -> Pipeline:
+    """Assemble the node graph for one run.
+
+    Budgets are sized so each node passes on ``sampling_fraction`` of
+    the *original* volume of its subtree. In steady state, layers above
+    the first receive roughly their budget and pass items through
+    (weight 1); under rate fluctuation they re-sample, which is where
+    the hierarchy earns its keep.
+    """
+    tree = config.tree
+    rng = random.Random(config.seed)
+    pipeline = Pipeline(
+        config=config,
+        tree=tree,
+        backend=config.resolved_backend,
+        rng=rng,
+        sources=_build_sources(tree, schedule, generators, rng),
+    )
+    pipeline.source_rates = {
+        node.name: pipeline.sources[node.name].rate_per_second
+        for node in tree.sources
+    }
+    budget = FractionBudget(config.sampling_fraction)
+    pipeline.budgets = {
+        node.name: budget.sample_size(
+            int(round(pipeline.subtree_rate(node.name) * config.window_seconds))
+        )
+        for node in tree.sampling_nodes
+    }
+    return pipeline

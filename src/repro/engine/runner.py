@@ -1,0 +1,271 @@
+"""The windowed run loop — one loop, three strategies, any transport.
+
+Per window, sources emit batches which traverse the logical tree
+bottom-up over the configured :class:`~repro.engine.transport.Transport`.
+What each sampling node does with its interval inbox is the *strategy*:
+
+* ``approxiot`` — weighted hierarchical sampling (Algorithm 1) with the
+  node's local budget; the root accumulates ``(W_out, I)`` pairs in
+  Theta and estimates SUM with error bounds.
+* ``srs`` — coin-flip sampling at the first edge layer, pass-through
+  above, Horvitz-Thompson scaling at the root (the paper's baseline).
+* ``native`` — everything forwarded unsampled; the root's sum is the
+  ground truth.
+
+:class:`EngineRunner` runs all three strategies over the *same* emitted
+items each window, so accuracy-loss comparisons are apples-to-apples —
+this is the engine behind Figs. 5, 10 and 11(a), and the deployment
+simulator reuses its per-interval sampling step for Figs. 6-9, 11(b).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.error_bounds import ApproximateResult, estimate_sum_with_error
+from repro.core.estimator import ThetaStore
+from repro.core.items import StreamItem, WeightedBatch, group_by_substream
+from repro.core.srs import CoinFlipSampler
+from repro.core.whs import WHSampResult, whsamp_batches
+from repro.engine.pipeline import Pipeline
+from repro.engine.transport import Transport
+from repro.errors import PipelineError
+
+__all__ = [
+    "WindowOutcome",
+    "RunOutcome",
+    "ApproxIoTWindow",
+    "EngineRunner",
+    "accuracy_loss",
+    "sample_interval",
+]
+
+
+def accuracy_loss(approx: float, exact: float) -> float:
+    """The paper's accuracy metric: ``|approx - exact| / exact`` (in %)."""
+    if exact == 0:
+        raise PipelineError("accuracy loss undefined for a zero exact value")
+    return 100.0 * abs(approx - exact) / abs(exact)
+
+
+@dataclass(frozen=True, slots=True)
+class WindowOutcome:
+    """Per-window results across the three systems.
+
+    Attributes:
+        window_index: Sequence number of the window.
+        exact_sum: Ground-truth sum over every emitted item.
+        approx_sum: ApproxIoT's estimate with error bounds.
+        srs_sum: The SRS baseline's Horvitz-Thompson estimate.
+        items_emitted: Ground-truth item count for the window.
+        items_sampled: Items physically reaching the root (ApproxIoT).
+    """
+
+    window_index: int
+    exact_sum: float
+    approx_sum: ApproximateResult
+    srs_sum: float
+    items_emitted: int
+    items_sampled: int
+
+    @property
+    def approxiot_loss(self) -> float:
+        """ApproxIoT accuracy loss (%) for this window."""
+        return accuracy_loss(self.approx_sum.value, self.exact_sum)
+
+    @property
+    def srs_loss(self) -> float:
+        """SRS accuracy loss (%) for this window."""
+        return accuracy_loss(self.srs_sum, self.exact_sum)
+
+
+@dataclass
+class RunOutcome:
+    """All windows of one run plus aggregate accuracy."""
+
+    windows: list[WindowOutcome] = field(default_factory=list)
+
+    @property
+    def mean_approxiot_loss(self) -> float:
+        """Mean ApproxIoT accuracy loss (%) across windows."""
+        if not self.windows:
+            raise PipelineError("run produced no windows")
+        return sum(w.approxiot_loss for w in self.windows) / len(self.windows)
+
+    @property
+    def mean_srs_loss(self) -> float:
+        """Mean SRS accuracy loss (%) across windows."""
+        if not self.windows:
+            raise PipelineError("run produced no windows")
+        return sum(w.srs_loss for w in self.windows) / len(self.windows)
+
+    @property
+    def realized_fraction(self) -> float:
+        """Fraction of emitted items that physically reached the root."""
+        emitted = sum(w.items_emitted for w in self.windows)
+        sampled = sum(w.items_sampled for w in self.windows)
+        if emitted == 0:
+            raise PipelineError("run emitted no items")
+        return sampled / emitted
+
+
+@dataclass(slots=True)
+class ApproxIoTWindow:
+    """One ApproxIoT window's root-side state (before Theta is cleared).
+
+    Attributes:
+        theta: The root's ``(W_out, I)`` accumulator for the window.
+        approx: The SUM estimate with error bounds.
+        sampled: Items that physically reached the root.
+    """
+
+    theta: ThetaStore
+    approx: ApproximateResult
+    sampled: int
+
+
+def sample_interval(
+    pipeline: Pipeline, node_name: str, batches: list[WeightedBatch]
+) -> WHSampResult:
+    """One node's interval close: Algorithm 1 under the node's budget.
+
+    The single WHSamp step shared by every execution mode — the
+    algorithmic window loop below and the deployment simulator's
+    event-driven interval closes both call it, so budget, allocation
+    policy, rng and backend are applied identically everywhere.
+    """
+    return whsamp_batches(
+        batches,
+        pipeline.budget(node_name),
+        policy=pipeline.config.allocation_policy,
+        rng=pipeline.rng,
+        backend=pipeline.backend,
+    )
+
+
+class EngineRunner:
+    """Drives the assembled pipeline over windows of generated data."""
+
+    def __init__(self, pipeline: Pipeline, transport: Transport) -> None:
+        self._pipeline = pipeline
+        self._transport = transport
+        for node in pipeline.tree.sampling_nodes:
+            transport.register(node.name)
+        self._windows_run = 0
+
+    @property
+    def pipeline(self) -> Pipeline:
+        """The assembled pipeline this runner executes."""
+        return self._pipeline
+
+    @property
+    def transport(self) -> Transport:
+        """The transport moving batches between nodes."""
+        return self._transport
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_window(self) -> WindowOutcome:
+        """Run one window through ApproxIoT, SRS and the native path."""
+        window_start = self._windows_run * self._pipeline.config.window_seconds
+        emitted = self._pipeline.emit_window(window_start)
+        items_emitted = sum(len(batch) for batch in emitted.values())
+        if items_emitted == 0:
+            raise PipelineError("sources emitted no items this window")
+
+        # The ground truth is the native strategy's answer, computed
+        # directly: forwarding everything through the transport would
+        # reach the same sum with an O(n) traversal for nothing.
+        exact_sum = sum(
+            item.value for batch in emitted.values() for item in batch
+        )
+        approx = self.run_approxiot(emitted)
+        srs_sum = self.run_srs(emitted)
+        self._windows_run += 1
+        return WindowOutcome(
+            window_index=self._windows_run,
+            exact_sum=exact_sum,
+            approx_sum=approx.approx,
+            srs_sum=srs_sum,
+            items_emitted=items_emitted,
+            items_sampled=approx.sampled,
+        )
+
+    def run(self, windows: int) -> RunOutcome:
+        """Run several windows and collect the outcomes."""
+        if windows <= 0:
+            raise PipelineError(f"window count must be >= 1, got {windows}")
+        outcome = RunOutcome()
+        for _ in range(windows):
+            outcome.windows.append(self.run_window())
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Strategies
+    # ------------------------------------------------------------------
+    def _inject(self, emitted: dict[str, list[StreamItem]]) -> None:
+        """Ship one window's emissions to the first sampling layer."""
+        tree = self._pipeline.tree
+        for source_node in tree.sources:
+            batch_items = emitted[source_node.name]
+            if not batch_items:
+                continue
+            parent = source_node.parent
+            assert parent is not None
+            for substream, items in group_by_substream(batch_items).items():
+                self._transport.send(
+                    source_node.name,
+                    parent,
+                    WeightedBatch(substream, 1.0, items),
+                )
+
+    def run_approxiot(
+        self, emitted: dict[str, list[StreamItem]]
+    ) -> ApproxIoTWindow:
+        """Propagate one window bottom-up with WHSamp at every node."""
+        self._inject(emitted)
+        theta = ThetaStore()
+        for node in self._pipeline.tree.sampling_nodes:  # bottom-up, root last
+            batches = self._transport.collect(node.name)
+            if not batches:
+                continue
+            result = sample_interval(self._pipeline, node.name, batches)
+            if node.parent is None:
+                theta.extend(result.batches)
+            else:
+                for batch in result.batches:
+                    self._transport.send(node.name, node.parent, batch)
+        sampled = sum(len(batch) for batch in theta.batches)
+        approx = estimate_sum_with_error(theta, self._pipeline.config.confidence)
+        return ApproxIoTWindow(theta=theta, approx=approx, sampled=sampled)
+
+    def run_srs(self, emitted: dict[str, list[StreamItem]]) -> float:
+        """The baseline: coin-flip at the first edge layer, HT at root."""
+        fraction = self._pipeline.config.sampling_fraction
+        rng = self._pipeline.rng
+        kept_values: list[float] = []
+        for node in self._pipeline.tree.sources:
+            sampler = CoinFlipSampler(
+                fraction, random.Random(rng.getrandbits(64))
+            )
+            kept_values.extend(
+                item.value for item in sampler.filter(emitted[node.name])
+            )
+        return sum(kept_values) / fraction
+
+    def run_native(self, emitted: dict[str, list[StreamItem]]) -> float:
+        """Everything forwarded unsampled; the root's sum is exact."""
+        self._inject(emitted)
+        total = 0.0
+        for node in self._pipeline.tree.sampling_nodes:
+            batches = self._transport.collect(node.name)
+            if not batches:
+                continue
+            if node.parent is None:
+                total += sum(batch.estimated_sum for batch in batches)
+            else:
+                for batch in batches:
+                    self._transport.send(node.name, node.parent, batch)
+        return total

@@ -23,6 +23,7 @@ from repro.workloads.synthetic import (
 __all__ = [
     "ExperimentScale",
     "PAPER_FRACTIONS",
+    "base_config",
     "gaussian_generators",
     "poisson_generators",
     "uniform_schedule",
@@ -41,11 +42,18 @@ class ExperimentScale:
         rate_scale: Multiplier over the baseline per-sub-stream rates.
         windows: Number of query windows to run and average over.
         seed: Base seed for the run.
+        backend: Sampling kernel every runner uses (``"python"`` /
+            ``"numpy"`` / ``"auto"``).
+        transport: Inter-node transport every runner uses (``"auto"``
+            resolves per engine; see
+            :attr:`repro.system.config.PipelineConfig.transport`).
     """
 
     rate_scale: float = 1.0
     windows: int = 5
     seed: int = 42
+    backend: str = "auto"
+    transport: str = "auto"
 
     def __post_init__(self) -> None:
         if self.rate_scale <= 0:
@@ -111,7 +119,12 @@ def saturating_placement(
 def base_config(fraction: float, scale: ExperimentScale,
                 window_seconds: float = 1.0, mode: str = "approxiot",
                 placement: PlacementSpec | None = None) -> PipelineConfig:
-    """A pipeline config with experiment-standard defaults."""
+    """A pipeline config with experiment-standard defaults.
+
+    Threads the scale's seed, sampling backend and transport into the
+    config, so ``python -m repro figures --backend/--transport`` reach
+    every figure runner through one seam.
+    """
     kwargs: dict[str, object] = {}
     if placement is not None:
         kwargs["placement"] = placement
@@ -120,5 +133,7 @@ def base_config(fraction: float, scale: ExperimentScale,
         window_seconds=window_seconds,
         mode=mode,
         seed=scale.seed,
+        backend=scale.backend,
+        transport=scale.transport,
         **kwargs,
     )

@@ -19,11 +19,11 @@ from dataclasses import dataclass
 from repro.experiments.base import (
     ExperimentScale,
     PAPER_FRACTIONS,
+    base_config,
     gaussian_generators,
     poisson_generators,
 )
 from repro.metrics.report import Table, format_percent
-from repro.system.config import PipelineConfig
 from repro.system.statistical import StatisticalRunner
 from repro.workloads.rates import RateSchedule, paper_rate_settings
 from repro.workloads.skew import paper_skewed_mixture
@@ -70,9 +70,7 @@ def run_fig10_settings(
     )
     points: list[Fig10SettingPoint] = []
     for schedule in paper_rate_settings(scale.rate_scale):
-        config = PipelineConfig(
-            sampling_fraction=fraction, window_seconds=1.0, seed=scale.seed
-        )
+        config = base_config(fraction, scale)
         runner = StatisticalRunner(config, schedule, generators)
         outcome = runner.run(scale.windows)
         points.append(
@@ -107,9 +105,7 @@ def run_fig10_skew(
     )
     points: list[Fig10SkewPoint] = []
     for fraction in fractions:
-        config = PipelineConfig(
-            sampling_fraction=fraction, window_seconds=1.0, seed=scale.seed
-        )
+        config = base_config(fraction, scale)
         runner = StatisticalRunner(config, schedule, generators)
         outcome = runner.run(scale.windows)
         points.append(

@@ -11,9 +11,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.base import ExperimentScale, PAPER_FRACTIONS, saturating_placement
+from repro.experiments.base import (
+    ExperimentScale,
+    PAPER_FRACTIONS,
+    base_config,
+    saturating_placement,
+)
 from repro.metrics.report import Table, format_percent, format_rate
-from repro.system.config import ExecutionMode, PipelineConfig
+from repro.system.config import ExecutionMode
 from repro.system.deployment import DeploymentSimulator
 from repro.system.statistical import StatisticalRunner
 from repro.workloads.pollution import POLLUTANTS, pollutant_generators
@@ -99,9 +104,7 @@ def run_fig11_accuracy(
     schedule, generators = _WORKLOADS[dataset](scale)
     points: list[Fig11AccuracyPoint] = []
     for fraction in fractions:
-        config = PipelineConfig(
-            sampling_fraction=fraction, window_seconds=1.0, seed=scale.seed
-        )
+        config = base_config(fraction, scale)
         runner = StatisticalRunner(config, schedule, generators)
         outcome = runner.run(scale.windows)
         points.append(
@@ -128,13 +131,7 @@ def run_fig11_throughput(
     placement = saturating_placement(schedule)
 
     def throughput(mode: str, fraction: float) -> float:
-        config = PipelineConfig(
-            sampling_fraction=fraction,
-            window_seconds=1.0,
-            mode=mode,
-            placement=placement,
-            seed=scale.seed,
-        )
+        config = base_config(fraction, scale, mode=mode, placement=placement)
         simulator = DeploymentSimulator(
             config, schedule, generators, n_windows=n_windows
         )

@@ -13,12 +13,12 @@ from dataclasses import dataclass
 from repro.experiments.base import (
     ExperimentScale,
     PAPER_FRACTIONS,
+    base_config,
     gaussian_generators,
     poisson_generators,
     uniform_schedule,
 )
 from repro.metrics.report import Table, format_percent
-from repro.system.config import PipelineConfig
 from repro.system.statistical import StatisticalRunner
 
 __all__ = ["Fig5Point", "run_fig5", "main"]
@@ -62,9 +62,7 @@ def run_fig5(
     schedule = uniform_schedule(scale.rate_scale)
     points: list[Fig5Point] = []
     for fraction in fractions:
-        config = PipelineConfig(
-            sampling_fraction=fraction, window_seconds=1.0, seed=scale.seed
-        )
+        config = base_config(fraction, scale)
         runner = StatisticalRunner(config, schedule, generators)
         outcome = runner.run(scale.windows)
         points.append(

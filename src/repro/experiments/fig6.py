@@ -12,12 +12,13 @@ from dataclasses import dataclass
 
 from repro.experiments.base import (
     ExperimentScale,
+    base_config,
     saturating_placement,
     gaussian_generators,
     uniform_schedule,
 )
 from repro.metrics.report import Table, format_rate
-from repro.system.config import ExecutionMode, PipelineConfig
+from repro.system.config import ExecutionMode
 from repro.system.deployment import DeploymentSimulator
 
 __all__ = ["Fig6Point", "run_fig6", "main"]
@@ -57,13 +58,7 @@ def run_fig6(
     placement = saturating_placement(schedule)
 
     def throughput(mode: str, fraction: float) -> float:
-        config = PipelineConfig(
-            sampling_fraction=fraction,
-            window_seconds=1.0,
-            mode=mode,
-            placement=placement,
-            seed=scale.seed,
-        )
+        config = base_config(fraction, scale, mode=mode, placement=placement)
         simulator = DeploymentSimulator(
             config, schedule, generators, n_windows=n_windows
         )

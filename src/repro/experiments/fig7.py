@@ -13,13 +13,14 @@ from dataclasses import dataclass
 from repro.experiments.base import (
     ExperimentScale,
     PAPER_FRACTIONS,
+    base_config,
     gaussian_generators,
     saturating_placement,
     uniform_schedule,
 )
 from repro.metrics.report import Table, format_percent
 from repro.simnet.stats import bandwidth_saving
-from repro.system.config import ExecutionMode, PipelineConfig
+from repro.system.config import ExecutionMode
 from repro.system.deployment import DeploymentSimulator
 
 __all__ = ["Fig7Point", "run_fig7", "main"]
@@ -58,13 +59,7 @@ def run_fig7(
     placement = saturating_placement(schedule)
 
     def boundary_bytes(mode: str, fraction: float) -> int:
-        config = PipelineConfig(
-            sampling_fraction=fraction,
-            window_seconds=1.0,
-            mode=mode,
-            placement=placement,
-            seed=scale.seed,
-        )
+        config = base_config(fraction, scale, mode=mode, placement=placement)
         simulator = DeploymentSimulator(
             config, schedule, generators, n_windows=n_windows
         )

@@ -12,12 +12,13 @@ from dataclasses import dataclass
 
 from repro.experiments.base import (
     ExperimentScale,
+    base_config,
     gaussian_generators,
     saturating_placement,
     uniform_schedule,
 )
 from repro.metrics.report import Table
-from repro.system.config import ExecutionMode, PipelineConfig
+from repro.system.config import ExecutionMode
 from repro.system.deployment import DeploymentSimulator
 
 __all__ = ["Fig9Point", "run_fig9", "main"]
@@ -50,12 +51,9 @@ def run_fig9(
     placement = saturating_placement(schedule)
 
     def latency(mode: str, window_seconds: float) -> float:
-        config = PipelineConfig(
-            sampling_fraction=fraction,
-            window_seconds=window_seconds,
-            mode=mode,
+        config = base_config(
+            fraction, scale, window_seconds=window_seconds, mode=mode,
             placement=placement,
-            seed=scale.seed,
         )
         simulator = DeploymentSimulator(
             config, schedule, generators, n_windows=n_windows

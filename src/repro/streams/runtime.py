@@ -17,6 +17,7 @@ from repro.broker.consumer import Consumer
 from repro.broker.producer import Producer
 from repro.broker.records import Record
 from repro.core.fastpath import resolve_backend
+from repro.errors import ConfigurationError
 from repro.streams.topology import Topology
 
 __all__ = ["StreamsRuntime"]
@@ -61,6 +62,28 @@ class StreamsRuntime:
         topology.init_all()
         self._stream_time = 0.0
         self._closed = False
+
+    @classmethod
+    def from_transport(
+        cls, transport, topology: Topology, **kwargs
+    ) -> "StreamsRuntime":
+        """Run a topology against an engine transport's broker.
+
+        Accepts any broker-backed transport from
+        :mod:`repro.engine.transport` (``BrokerTransport`` or
+        ``SimnetBrokerTransport``): topics populated through
+        ``transport.send`` / ``transport.deliver`` are readable as
+        topology sources (node ``X``'s ingest topic is
+        ``repro.engine.transport.topic_for(X)``), so a streams app can
+        tap the same record flow the execution engine runs on.
+        """
+        broker = getattr(transport, "broker", None)
+        if not isinstance(broker, Broker):
+            raise ConfigurationError(
+                f"{type(transport).__name__} is not broker-backed; "
+                f"use BrokerTransport or SimnetBrokerTransport"
+            )
+        return cls(broker, topology, **kwargs)
 
     @property
     def application_id(self) -> str:

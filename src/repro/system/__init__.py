@@ -1,6 +1,8 @@
 """System assembly: configs, runners and the adaptive feedback loop.
 
-Two execution engines share one configuration surface:
+Two runner facades share one configuration surface and one execution
+engine (:mod:`repro.engine` — pipeline assembly, the windowed run loop
+and the pluggable transports):
 
 * :class:`~repro.system.statistical.StatisticalRunner` runs the
   sampling tree algorithmically for the accuracy experiments;

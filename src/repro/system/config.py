@@ -10,7 +10,7 @@ from repro.errors import ConfigurationError
 from repro.topology.placement import PlacementSpec
 from repro.topology.tree import LogicalTree, paper_tree
 
-__all__ = ["PipelineConfig", "ExecutionMode"]
+__all__ = ["PipelineConfig", "ExecutionMode", "TRANSPORTS", "TRANSPORT_AUTO"]
 
 
 class ExecutionMode:
@@ -23,9 +23,22 @@ class ExecutionMode:
     ALL = (APPROXIOT, SRS, NATIVE)
 
 
-@dataclass
+#: ``"auto"`` resolves to the engine's native transport: in-process
+#: callbacks for the statistical runner, simnet-backed broker links for
+#: the deployment simulator.
+TRANSPORT_AUTO = "auto"
+
+#: Valid values of :attr:`PipelineConfig.transport` (see
+#: :mod:`repro.engine.transport` for the implementations).
+TRANSPORTS = (TRANSPORT_AUTO, "inprocess", "broker", "simnet")
+
+
+@dataclass(frozen=True)
 class PipelineConfig:
     """Shared knobs for both the statistical and deployment runners.
+
+    Instances are immutable; derive variants with the ``with_*``
+    helpers (or :func:`dataclasses.replace`).
 
     Attributes:
         sampling_fraction: End-to-end fraction of the stream that
@@ -40,6 +53,13 @@ class PipelineConfig:
         backend: Sampling kernel — ``"python"``, ``"numpy"`` or
             ``"auto"`` (default; uses numpy when installed, e.g. via
             the ``[fast]`` extra, and pure Python otherwise).
+        transport: How weighted batches move between tree nodes —
+            ``"inprocess"`` (direct callbacks), ``"broker"`` (pub/sub
+            topics), ``"simnet"`` (broker topics fed over simulated WAN
+            links) or ``"auto"`` (default; each engine's native
+            transport). The statistical runner supports inprocess and
+            broker; the deployment simulator supports simnet and
+            broker.
     """
 
     sampling_fraction: float = 0.1
@@ -53,6 +73,7 @@ class PipelineConfig:
     confidence: float = 0.95
     seed: int = 42
     backend: str = "auto"
+    transport: str = TRANSPORT_AUTO
 
     def __post_init__(self) -> None:
         if not 0.0 < self.sampling_fraction <= 1.0:
@@ -76,6 +97,11 @@ class PipelineConfig:
             raise ConfigurationError(
                 f"backend must be one of {BACKENDS}, got {self.backend!r}"
             )
+        if self.transport not in TRANSPORTS:
+            raise ConfigurationError(
+                f"transport must be one of {TRANSPORTS}, got "
+                f"{self.transport!r}"
+            )
 
     @property
     def resolved_backend(self) -> str:
@@ -83,6 +109,8 @@ class PipelineConfig:
 
         Resolves ``"auto"`` against the current environment; raises
         if ``"numpy"`` was requested explicitly but is unavailable.
+        The engine resolves this exactly once per run (at pipeline
+        assembly) and threads the result through every sampling call.
         """
         return resolve_backend(self.backend)
 
@@ -97,3 +125,11 @@ class PipelineConfig:
     def with_backend(self, backend: str) -> "PipelineConfig":
         """A copy of this config on a different sampling backend."""
         return replace(self, backend=backend)
+
+    def with_transport(self, transport: str) -> "PipelineConfig":
+        """A copy of this config on a different inter-node transport."""
+        return replace(self, transport=transport)
+
+    def with_seed(self, seed: int) -> "PipelineConfig":
+        """A copy of this config with a different random seed."""
+        return replace(self, seed=seed)

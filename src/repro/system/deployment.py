@@ -16,6 +16,17 @@ Three modes (§V-A Methodology):
 * ``native`` — everything forwarded unsampled; the datacenter node
   saturates, which is what Figs. 6 and 8 measure.
 
+Since the engine refactor this module is a facade over
+:mod:`repro.engine`: tree assembly and budget sizing come from
+:func:`~repro.engine.pipeline.build_pipeline`, the per-interval WHSamp
+step is :func:`~repro.engine.runner.sample_interval`, and approxiot
+batches move through a :class:`~repro.engine.transport.Transport` —
+``"simnet"`` (default: broker topics fed over WAN links) or
+``"broker"`` (topics only; an idealized zero-latency network for
+ablations). What remains here is deployment-specific: the emission
+chunking, the interval-close clockwork, host CPU accounting and the
+latency/bandwidth measurements.
+
 This is the engine behind Figs. 6, 7, 8, 9 and 11(b).
 """
 
@@ -27,19 +38,18 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.broker.broker import Broker
-from repro.broker.consumer import Consumer
-from repro.broker.records import Record
-from repro.core.cost import FractionBudget
-from repro.core.items import StreamItem, WeightedBatch
+from repro.core.items import StreamItem, WeightedBatch, group_by_substream
 from repro.core.srs import CoinFlipSampler
-from repro.core.whs import whsamp_batches
-from repro.errors import PipelineError
+from repro.engine.pipeline import Pipeline, build_pipeline
+from repro.engine.runner import sample_interval
+from repro.engine.transport import BrokerTransport, SimnetBrokerTransport
+from repro.errors import ConfigurationError, PipelineError
 from repro.simnet.stats import LatencyRecorder
 from repro.system.config import ExecutionMode, PipelineConfig
 from repro.topology.placement import place_tree
 from repro.topology.tree import TreeNode
 from repro.workloads.rates import RateSchedule
-from repro.workloads.source import ItemGenerator, Source
+from repro.workloads.source import ItemGenerator
 
 __all__ = ["DeploymentReport", "DeploymentSimulator"]
 
@@ -84,12 +94,17 @@ class DeploymentReport:
 
 
 class _ApproxIoTNodeState:
-    """Per-node runtime state for the windowed sampling mode."""
+    """Per-node runtime state for the windowed sampling mode.
 
-    def __init__(self, node: TreeNode, budget: int, consumer: Consumer) -> None:
+    ``budget`` mirrors the pipeline's sizing (the sampling step reads
+    it from the pipeline directly); it is kept here so white-box tests
+    and debuggers can inspect a node's budget alongside its ingest
+    counter.
+    """
+
+    def __init__(self, node: TreeNode, budget: int) -> None:
         self.node = node
         self.budget = budget
-        self.consumer = consumer
         self.items_ingested = 0
 
 
@@ -107,83 +122,39 @@ class DeploymentSimulator:
         if n_windows <= 0:
             raise PipelineError(f"n_windows must be >= 1, got {n_windows}")
         self._config = config
-        self._schedule = schedule
         self._n_windows = n_windows
-        self._tree = config.tree
-        self._backend = config.resolved_backend
-        self._rng = random.Random(config.seed)
+        self._pipeline: Pipeline = build_pipeline(config, schedule, generators)
+        self._tree = self._pipeline.tree
+        self._rng = self._pipeline.rng
         self._network = place_tree(self._tree, config.placement)
         self._clock = self._network.clock
-        self._broker = Broker("deployment")
+        self._transport = self._make_transport(config.transport)
         self._latency = LatencyRecorder()
         self._items_emitted = 0
         self._items_at_root = 0
         self._root_last_completion = 0.0
-        self._sources = self._build_sources(schedule, generators)
         self._states: dict[str, _ApproxIoTNodeState] = {}
         if config.mode == ExecutionMode.APPROXIOT:
-            self._setup_approxiot()
+            for node in self._tree.sampling_nodes:
+                self._transport.register(node.name)
+                self._states[node.name] = _ApproxIoTNodeState(
+                    node, self._pipeline.budget(node.name)
+                )
 
     # ------------------------------------------------------------------
     # Setup
     # ------------------------------------------------------------------
-    def _build_sources(
-        self, schedule: RateSchedule, generators: dict[str, ItemGenerator]
-    ) -> dict[str, Source]:
-        substreams = sorted(schedule.rates)
-        missing = [s for s in substreams if s not in generators]
-        if missing:
-            raise PipelineError(f"no generators for sub-streams: {missing}")
-        source_nodes = self._tree.sources
-        owners: dict[str, list[TreeNode]] = {s: [] for s in substreams}
-        for index, node in enumerate(source_nodes):
-            owners[substreams[index % len(substreams)]].append(node)
-        sources: dict[str, Source] = {}
-        for substream, nodes in owners.items():
-            if not nodes:
-                raise PipelineError(
-                    f"tree has fewer sources than sub-streams; "
-                    f"{substream!r} has no producer"
-                )
-            per_source_rate = schedule.rates[substream] / len(nodes)
-            for node in nodes:
-                sources[node.name] = Source(
-                    node.name,
-                    generators[substream],
-                    per_source_rate,
-                    rng=random.Random(self._rng.getrandbits(64)),
-                )
-        return sources
-
-    def _subtree_rate(self, node_name: str) -> float:
-        return sum(
-            self._sources[source.name].rate_per_second
-            for source in self._tree.sources
-            if node_name in self._tree.path_to_root(source.name)
+    def _make_transport(self, name: str) -> BrokerTransport:
+        broker = Broker("deployment")
+        if name in ("auto", "simnet"):
+            return SimnetBrokerTransport(self._network, broker)
+        if name == "broker":
+            return BrokerTransport(broker, now=lambda: self._clock.now)
+        raise ConfigurationError(
+            f"the deployment simulator supports transports "
+            f"('simnet', 'broker'), got {name!r}; the 'inprocess' transport "
+            f"requires the statistical runner"
         )
-
-    def _setup_approxiot(self) -> None:
-        budget = FractionBudget(self._config.sampling_fraction)
-        for node in self._tree.sampling_nodes:
-            topic = self._topic(node.name)
-            self._broker.ensure_topic(topic)
-            consumer = Consumer(
-                self._broker,
-                group_id=f"group-{node.name}",
-                topics=[topic],
-                member_id=node.name,
-                max_poll_records=1_000_000,
-            )
-            expected = int(round(
-                self._subtree_rate(node.name) * self._config.window_seconds
-            ))
-            self._states[node.name] = _ApproxIoTNodeState(
-                node, budget.sample_size(expected), consumer
-            )
-
-    @staticmethod
-    def _topic(node_name: str) -> str:
-        return f"ingest-{node_name}"
 
     # ------------------------------------------------------------------
     # Run
@@ -252,12 +223,7 @@ class DeploymentSimulator:
             self._clock.run()
 
     def _has_lag(self) -> bool:
-        for state in self._states.values():
-            topic = self._topic(state.node.name)
-            for partition, end in self._broker.end_offsets(topic).items():
-                if state.consumer.position(topic, partition) < end:
-                    return True
-        return False
+        return self._transport.has_pending()
 
     # ------------------------------------------------------------------
     # Emission
@@ -266,7 +232,7 @@ class DeploymentSimulator:
         self, source_node: TreeNode, chunk_start: float, chunk_seconds: float
     ):
         def emit() -> None:
-            batch = self._sources[source_node.name].emit_interval(
+            batch = self._pipeline.sources[source_node.name].emit_interval(
                 chunk_start, chunk_seconds
             )
             if not batch:
@@ -283,35 +249,26 @@ class DeploymentSimulator:
         items: list[StreamItem],
         weight: float,
     ) -> None:
-        """Ship items over the src→dst link, splitting per sub-stream."""
-        by_substream: dict[str, list[StreamItem]] = {}
-        for item in items:
-            by_substream.setdefault(item.substream, []).append(item)
-        for substream, sub_items in by_substream.items():
-            batch = WeightedBatch(substream, weight, sub_items)
-            self._network.send(
-                src, dst, batch.total_bytes, batch, self._receiver(dst)
-            )
+        """Ship items toward ``dst``, splitting per sub-stream."""
+        for substream, sub_items in group_by_substream(items).items():
+            self._send_batch(src, dst, WeightedBatch(substream, weight, sub_items))
 
     def _send_batch(self, src: str, dst: str, batch: WeightedBatch) -> None:
-        self._network.send(
-            src, dst, batch.total_bytes, batch, self._receiver(dst)
-        )
+        """One upward hop: transport for approxiot, direct otherwise."""
+        if self._config.mode == ExecutionMode.APPROXIOT:
+            self._transport.send(src, dst, batch)
+        else:
+            self._network.send(
+                src, dst, batch.total_bytes, batch, self._streaming_receiver(dst)
+            )
 
     # ------------------------------------------------------------------
     # Reception and processing
     # ------------------------------------------------------------------
-    def _receiver(self, node_name: str) -> Callable[[WeightedBatch], None]:
-        mode = self._config.mode
-        if mode == ExecutionMode.APPROXIOT:
-            def deliver_to_topic(batch: WeightedBatch) -> None:
-                self._broker.produce(
-                    self._topic(node_name),
-                    Record(key=batch.substream, value=batch,
-                           timestamp=self._clock.now),
-                )
-            return deliver_to_topic
-
+    def _streaming_receiver(
+        self, node_name: str
+    ) -> Callable[[WeightedBatch], None]:
+        """SRS/native delivery: straight into the host's service queue."""
         def deliver_direct(batch: WeightedBatch) -> None:
             host = self._network.host(node_name)
             host.process(
@@ -323,10 +280,9 @@ class DeploymentSimulator:
     def _closer(self, node_name: str) -> Callable[[], None]:
         def close() -> None:
             state = self._states[node_name]
-            records = state.consumer.poll()
-            if not records:
+            batches = self._transport.collect(node_name)
+            if not batches:
                 return
-            batches = [record.value for record in records]
             count = sum(len(batch) for batch in batches)
             state.items_ingested += count
             host = self._network.host(node_name)
@@ -344,13 +300,7 @@ class DeploymentSimulator:
         ingested = sum(len(batch) for batch in batches)
         if ingested == 0:
             return
-        result = whsamp_batches(
-            batches,
-            state.budget,
-            policy=self._config.allocation_policy,
-            rng=self._rng,
-            backend=self._backend,
-        )
+        result = sample_interval(self._pipeline, node_name, batches)
         if state.node.name == "root":
             now = self._clock.now
             self._items_at_root += ingested

@@ -66,10 +66,11 @@ class FeedbackDriver:
         outcome = FeedbackOutcome()
         for index in range(windows):
             fraction = self._controller.fraction
-            config = self._base_config.with_fraction(fraction)
             # Vary the seed per window so the adaptive trace is not a
             # single replayed sample path.
-            config.seed = self._base_config.seed + index
+            config = self._base_config.with_fraction(fraction).with_seed(
+                self._base_config.seed + index
+            )
             runner = StatisticalRunner(config, self._schedule, self._generators)
             window = runner.run_window()
             relative_error = (

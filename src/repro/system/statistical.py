@@ -1,4 +1,4 @@
-"""Statistical pipeline runner — the accuracy experiments' engine.
+"""Statistical pipeline runner — the accuracy experiments' facade.
 
 Runs the full sampling tree *algorithmically* (no simulated network or
 hosts): per window, sources emit batches which traverse the logical
@@ -8,95 +8,32 @@ SRS baseline (coin-flip at the first edge layer, Horvitz-Thompson at
 the root) and the exact ground truth are computed over the *same*
 emitted items, so accuracy-loss comparisons are apples-to-apples.
 
+Since the engine refactor this module is a thin facade: assembly lives
+in :mod:`repro.engine.pipeline`, the windowed loop and its three
+strategies in :mod:`repro.engine.runner`, and batch movement behind the
+:class:`~repro.engine.transport.Transport` protocol —
+``config.transport`` selects in-process callbacks (default) or broker
+topics, with identical results on either (seeded runs are
+transport-invariant).
+
 This is the engine behind Figs. 5, 10 and 11(a).
 """
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass, field
-
-from repro.core.cost import FractionBudget
-from repro.core.error_bounds import ApproximateResult, estimate_sum_with_error
-from repro.core.estimator import ThetaStore
-from repro.core.items import StreamItem, WeightedBatch
-from repro.core.srs import CoinFlipSampler
-from repro.core.whs import whsamp_batches
-from repro.errors import PipelineError
+from repro.engine.pipeline import build_pipeline
+from repro.engine.runner import (
+    EngineRunner,
+    RunOutcome,
+    WindowOutcome,
+    accuracy_loss,
+)
+from repro.engine.transport import make_statistical_transport
 from repro.system.config import PipelineConfig
-from repro.topology.tree import TreeNode
 from repro.workloads.rates import RateSchedule
-from repro.workloads.source import ItemGenerator, Source
+from repro.workloads.source import ItemGenerator
 
 __all__ = ["WindowOutcome", "RunOutcome", "StatisticalRunner", "accuracy_loss"]
-
-
-def accuracy_loss(approx: float, exact: float) -> float:
-    """The paper's accuracy metric: ``|approx - exact| / exact`` (in %)."""
-    if exact == 0:
-        raise PipelineError("accuracy loss undefined for a zero exact value")
-    return 100.0 * abs(approx - exact) / abs(exact)
-
-
-@dataclass(frozen=True, slots=True)
-class WindowOutcome:
-    """Per-window results across the three systems.
-
-    Attributes:
-        window_index: Sequence number of the window.
-        exact_sum: Ground-truth sum over every emitted item.
-        approx_sum: ApproxIoT's estimate with error bounds.
-        srs_sum: The SRS baseline's Horvitz-Thompson estimate.
-        items_emitted: Ground-truth item count for the window.
-        items_sampled: Items physically reaching the root (ApproxIoT).
-    """
-
-    window_index: int
-    exact_sum: float
-    approx_sum: ApproximateResult
-    srs_sum: float
-    items_emitted: int
-    items_sampled: int
-
-    @property
-    def approxiot_loss(self) -> float:
-        """ApproxIoT accuracy loss (%) for this window."""
-        return accuracy_loss(self.approx_sum.value, self.exact_sum)
-
-    @property
-    def srs_loss(self) -> float:
-        """SRS accuracy loss (%) for this window."""
-        return accuracy_loss(self.srs_sum, self.exact_sum)
-
-
-@dataclass
-class RunOutcome:
-    """All windows of one run plus aggregate accuracy."""
-
-    windows: list[WindowOutcome] = field(default_factory=list)
-
-    @property
-    def mean_approxiot_loss(self) -> float:
-        """Mean ApproxIoT accuracy loss (%) across windows."""
-        if not self.windows:
-            raise PipelineError("run produced no windows")
-        return sum(w.approxiot_loss for w in self.windows) / len(self.windows)
-
-    @property
-    def mean_srs_loss(self) -> float:
-        """Mean SRS accuracy loss (%) across windows."""
-        if not self.windows:
-            raise PipelineError("run produced no windows")
-        return sum(w.srs_loss for w in self.windows) / len(self.windows)
-
-    @property
-    def realized_fraction(self) -> float:
-        """Fraction of emitted items that physically reached the root."""
-        emitted = sum(w.items_emitted for w in self.windows)
-        sampled = sum(w.items_sampled for w in self.windows)
-        if emitted == 0:
-            raise PipelineError("run emitted no items")
-        return sampled / emitted
 
 
 class StatisticalRunner:
@@ -109,163 +46,20 @@ class StatisticalRunner:
         generators: dict[str, ItemGenerator],
     ) -> None:
         self._config = config
-        self._schedule = schedule
-        self._tree = config.tree
-        self._backend = config.resolved_backend
-        self._rng = random.Random(config.seed)
-        self._sources = self._build_sources(schedule, generators)
-        self._source_rates = {
-            source_node.name: self._sources[source_node.name].rate_per_second
-            for source_node in self._tree.sources
-        }
-        self._windows_run = 0
-
-    # ------------------------------------------------------------------
-    # Construction helpers
-    # ------------------------------------------------------------------
-    def _build_sources(
-        self,
-        schedule: RateSchedule,
-        generators: dict[str, ItemGenerator],
-    ) -> dict[str, Source]:
-        """Assign sub-streams round-robin across the tree's sources.
-
-        With 8 sources and 4 sub-streams each sub-stream is produced by
-        2 sources; the schedule's per-sub-stream rate is split evenly
-        among them.
-        """
-        substreams = sorted(schedule.rates)
-        missing = [s for s in substreams if s not in generators]
-        if missing:
-            raise PipelineError(f"no generators for sub-streams: {missing}")
-        source_nodes = self._tree.sources
-        owners: dict[str, list[TreeNode]] = {s: [] for s in substreams}
-        for index, node in enumerate(source_nodes):
-            owners[substreams[index % len(substreams)]].append(node)
-        sources: dict[str, Source] = {}
-        for substream, nodes in owners.items():
-            if not nodes:
-                raise PipelineError(
-                    f"tree has fewer sources than sub-streams; "
-                    f"{substream!r} has no producer"
-                )
-            per_source_rate = schedule.rates[substream] / len(nodes)
-            for node in nodes:
-                sources[node.name] = Source(
-                    node.name,
-                    generators[substream],
-                    per_source_rate,
-                    rng=random.Random(self._rng.getrandbits(64)),
-                )
-        return sources
-
-    def _node_budget(self, node_name: str) -> int:
-        """A sampling node's per-interval budget (the cost function).
-
-        Sized so the node passes on ``fraction`` of the *original*
-        volume of its subtree. In steady state, layers above the first
-        receive roughly their budget and pass items through (weight 1);
-        under rate fluctuation they re-sample, which is where the
-        hierarchy earns its keep.
-        """
-        subtree_rate = sum(
-            self._source_rates[source.name]
-            for source in self._tree.sources
-            if node_name in self._tree.path_to_root(source.name)
-        )
-        budget = FractionBudget(self._config.sampling_fraction)
-        return budget.sample_size(
-            int(round(subtree_rate * self._config.window_seconds))
+        self._pipeline = build_pipeline(config, schedule, generators)
+        self._engine = EngineRunner(
+            self._pipeline, make_statistical_transport(config.transport)
         )
 
-    # ------------------------------------------------------------------
-    # Execution
-    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> EngineRunner:
+        """The underlying engine runner (pipeline + transport)."""
+        return self._engine
+
     def run_window(self) -> WindowOutcome:
         """Run one window through ApproxIoT, SRS and the exact path."""
-        window_start = self._windows_run * self._config.window_seconds
-        emitted: dict[str, list[StreamItem]] = {}
-        all_items: list[StreamItem] = []
-        for node in self._tree.sources:
-            batch = self._sources[node.name].emit_interval(
-                window_start, self._config.window_seconds
-            )
-            emitted[node.name] = batch
-            all_items.extend(batch)
-        if not all_items:
-            raise PipelineError("sources emitted no items this window")
-
-        exact_sum = sum(item.value for item in all_items)
-        approx = self._run_approxiot(emitted)
-        srs_sum = self._run_srs(emitted)
-        self._windows_run += 1
-        return WindowOutcome(
-            window_index=self._windows_run,
-            exact_sum=exact_sum,
-            approx_sum=approx[0],
-            srs_sum=srs_sum,
-            items_emitted=len(all_items),
-            items_sampled=approx[1],
-        )
+        return self._engine.run_window()
 
     def run(self, windows: int) -> RunOutcome:
         """Run several windows and collect the outcomes."""
-        if windows <= 0:
-            raise PipelineError(f"window count must be >= 1, got {windows}")
-        outcome = RunOutcome()
-        for _ in range(windows):
-            outcome.windows.append(self.run_window())
-        return outcome
-
-    def _run_approxiot(
-        self, emitted: dict[str, list[StreamItem]]
-    ) -> tuple[ApproximateResult, int]:
-        """Propagate one window bottom-up with WHSamp at every node."""
-        # Inbox per node: weighted batches awaiting that node's interval.
-        inbox: dict[str, list[WeightedBatch]] = {
-            node.name: [] for node in self._tree.sampling_nodes
-        }
-        for source_node in self._tree.sources:
-            batch_items = emitted[source_node.name]
-            if not batch_items:
-                continue
-            parent = source_node.parent
-            assert parent is not None
-            by_substream: dict[str, list[StreamItem]] = {}
-            for item in batch_items:
-                by_substream.setdefault(item.substream, []).append(item)
-            for substream, items in by_substream.items():
-                inbox[parent].append(WeightedBatch(substream, 1.0, items))
-
-        theta = ThetaStore()
-        for node in self._tree.sampling_nodes:  # bottom-up, root last
-            batches = inbox[node.name]
-            if not batches:
-                continue
-            result = whsamp_batches(
-                batches,
-                self._node_budget(node.name),
-                policy=self._config.allocation_policy,
-                rng=self._rng,
-                backend=self._backend,
-            )
-            if node.name == "root":
-                theta.extend(result.batches)
-            else:
-                assert node.parent is not None
-                inbox[node.parent].extend(result.batches)
-
-        sampled = sum(len(batch) for batch in theta.batches)
-        approx = estimate_sum_with_error(theta, self._config.confidence)
-        return approx, sampled
-
-    def _run_srs(self, emitted: dict[str, list[StreamItem]]) -> float:
-        """The baseline: coin-flip at the first edge layer, HT at root."""
-        fraction = self._config.sampling_fraction
-        kept_values: list[float] = []
-        for batch in emitted.values():
-            sampler = CoinFlipSampler(
-                fraction, random.Random(self._rng.getrandbits(64))
-            )
-            kept_values.extend(item.value for item in sampler.filter(batch))
-        return sum(kept_values) / fraction
+        return self._engine.run(windows)

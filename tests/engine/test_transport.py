@@ -1,0 +1,146 @@
+"""Unit tests for the transport implementations."""
+
+import pytest
+
+from repro.core.items import StreamItem, WeightedBatch
+from repro.engine.transport import (
+    BrokerTransport,
+    InProcessTransport,
+    SimnetBrokerTransport,
+    make_statistical_transport,
+    topic_for,
+)
+from repro.errors import ConfigurationError
+from repro.simnet.netem import NetemConfig
+from repro.simnet.network import Network
+from repro.streams import StreamsRuntime
+
+
+def batch(substream="a", weight=1.0, n=3):
+    return WeightedBatch(
+        substream, weight, [StreamItem(substream, float(i)) for i in range(n)]
+    )
+
+
+@pytest.mark.parametrize(
+    "transport_factory",
+    [InProcessTransport, BrokerTransport],
+    ids=["inprocess", "broker"],
+)
+class TestTransportContract:
+    """Behaviour every non-simulated transport must share."""
+
+    def test_send_collect_preserves_order(self, transport_factory):
+        transport = transport_factory()
+        transport.register("node")
+        first, second = batch("a"), batch("b")
+        transport.send("src", "node", first)
+        transport.send("src", "node", second)
+        collected = transport.collect("node")
+        assert [b.substream for b in collected] == ["a", "b"]
+
+    def test_collect_drains(self, transport_factory):
+        transport = transport_factory()
+        transport.register("node")
+        transport.send("src", "node", batch())
+        assert transport.has_pending()
+        transport.collect("node")
+        assert not transport.has_pending()
+        assert transport.collect("node") == []
+
+    def test_unregistered_destination_rejected(self, transport_factory):
+        transport = transport_factory()
+        with pytest.raises(ConfigurationError):
+            transport.collect("ghost")
+
+
+class TestBrokerTransport:
+    def test_batches_ride_topics(self):
+        transport = BrokerTransport()
+        transport.register("root")
+        transport.send("l2-0", "root", batch())
+        assert topic_for("root") in transport.broker.topics()
+        assert transport.broker.end_offsets(topic_for("root")) == {0: 1}
+
+    def test_timestamps_come_from_clock(self):
+        time = {"now": 7.5}
+        transport = BrokerTransport(now=lambda: time["now"])
+        transport.register("root")
+        transport.send("l2-0", "root", batch())
+        record = transport.broker.fetch(topic_for("root"), 0, 0)[0]
+        assert record.timestamp == 7.5
+
+    def test_streams_runtime_taps_transport_topics(self):
+        """A streams app can consume the engine's record flow."""
+        from repro.streams import StreamBuilder
+
+        transport = BrokerTransport()
+        transport.register("root")
+        for index in range(3):
+            transport.send("l2-0", "root", batch(f"s{index}"))
+
+        seen = []
+        builder = StreamBuilder()
+        builder.stream(topic_for("root")).for_each(
+            lambda key, value: seen.append(value.substream)
+        )
+        runtime = StreamsRuntime.from_transport(transport, builder.build())
+        runtime.run_to_completion()
+        runtime.close()
+        assert seen == ["s0", "s1", "s2"]
+
+    def test_streams_runtime_rejects_non_broker_transport(self):
+        from repro.streams import StreamBuilder
+
+        builder = StreamBuilder()
+        builder.stream("t").for_each(lambda key, value: None)
+        with pytest.raises(ConfigurationError):
+            StreamsRuntime.from_transport(
+                InProcessTransport(), builder.build()
+            )
+
+
+class TestSimnetBrokerTransport:
+    def make_network(self):
+        network = Network()
+        network.add_host("edge", 1e9)
+        network.add_host("root", 1e9)
+        network.add_link("edge", "root", NetemConfig.from_rtt(20.0, 1e9))
+        return network
+
+    def test_delivery_waits_for_link(self):
+        network = self.make_network()
+        transport = SimnetBrokerTransport(network)
+        transport.register("root")
+        transport.send("edge", "root", batch())
+        # Nothing lands until the clock advances past the link delay.
+        assert transport.broker.end_offsets(topic_for("root")) == {0: 0}
+        network.clock.run()
+        assert transport.broker.end_offsets(topic_for("root")) == {0: 1}
+        record = transport.broker.fetch(topic_for("root"), 0, 0)[0]
+        assert record.timestamp == pytest.approx(network.clock.now)
+
+    def test_bytes_accounted_on_link(self):
+        network = self.make_network()
+        transport = SimnetBrokerTransport(network)
+        transport.register("root")
+        sent = batch(n=5)
+        transport.send("edge", "root", sent)
+        network.clock.run()
+        assert network.link("edge", "root").bytes_sent == sent.total_bytes
+
+
+class TestFactory:
+    def test_auto_is_inprocess(self):
+        assert isinstance(
+            make_statistical_transport("auto"), InProcessTransport
+        )
+
+    def test_broker_selected(self):
+        assert isinstance(
+            make_statistical_transport("broker"), BrokerTransport
+        )
+
+    def test_simnet_rejected_for_statistical(self):
+        with pytest.raises(ConfigurationError):
+            make_statistical_transport("simnet")

@@ -1,0 +1,54 @@
+"""Unit tests for the frozen pipeline configuration."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.system.config import TRANSPORTS, ExecutionMode, PipelineConfig
+
+
+class TestImmutability:
+    def test_config_is_frozen(self):
+        config = PipelineConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.seed = 7
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.sampling_fraction = 0.5
+
+    def test_with_seed(self):
+        config = PipelineConfig(seed=1)
+        derived = config.with_seed(2)
+        assert derived.seed == 2
+        assert config.seed == 1
+        assert derived.sampling_fraction == config.sampling_fraction
+
+    def test_with_transport(self):
+        config = PipelineConfig()
+        assert config.transport == "auto"
+        derived = config.with_transport("broker")
+        assert derived.transport == "broker"
+        assert config.transport == "auto"
+
+    def test_with_mode_chainable(self):
+        config = (
+            PipelineConfig()
+            .with_mode(ExecutionMode.SRS)
+            .with_fraction(0.5)
+            .with_backend("python")
+            .with_seed(9)
+        )
+        assert config.mode == ExecutionMode.SRS
+        assert config.sampling_fraction == 0.5
+        assert config.backend == "python"
+        assert config.seed == 9
+
+
+class TestTransportValidation:
+    def test_all_declared_transports_accepted(self):
+        for transport in TRANSPORTS:
+            assert PipelineConfig(transport=transport).transport == transport
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PipelineConfig(transport="carrier-pigeon")

@@ -26,6 +26,27 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figures", "--scale", "huge"])
 
+    def test_backend_and_transport_defaults(self):
+        args = build_parser().parse_args(["figures"])
+        assert args.backend == "auto"
+        assert args.transport == "auto"
+
+    def test_backend_and_transport_selection(self):
+        args = build_parser().parse_args(
+            ["figures", "fig5", "--backend", "python",
+             "--transport", "broker"]
+        )
+        assert args.backend == "python"
+        assert args.transport == "broker"
+
+    def test_rejects_bad_backend_and_transport(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figures", "--backend", "fortran"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["figures", "--transport", "carrier-pigeon"]
+            )
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -46,3 +67,18 @@ class TestCommands:
     def test_figures_unknown_id(self, capsys):
         assert main(["figures", "fig99"]) == 2
         assert "error" in capsys.readouterr().err
+
+    def test_figures_on_broker_transport(self, capsys):
+        assert main(
+            ["figures", "fig5", "--scale", "quick",
+             "--backend", "python", "--transport", "broker"]
+        ) == 0
+        assert "Fig. 5(a)" in capsys.readouterr().out
+
+    def test_transport_engine_mismatch_reports_error(self, capsys):
+        # fig6 runs the deployment simulator, which has no in-process
+        # transport; the CLI surfaces the configuration error cleanly.
+        assert main(
+            ["figures", "fig6", "--transport", "inprocess"]
+        ) == 2
+        assert "transport" in capsys.readouterr().err
