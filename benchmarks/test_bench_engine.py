@@ -1,0 +1,144 @@
+"""Benchmark: end-to-end engine throughput, objects vs columnar plane.
+
+Runs the statistical engine (all three strategies per window) at the
+Fig. 6 workload — four equal-rate Gaussian sub-streams at the scale's
+rate — on both data planes and every available sampling backend, and
+reports sustained items/s. This is the headline number for the
+columnar data plane: the same seeded run, the same sampled records,
+with per-item object churn replaced by structure-of-arrays columns.
+
+Two assertions gate regressions:
+
+* at any scale (including CI's ``REPRO_BENCH_SCALE=quick`` smoke job)
+  the columnar plane must sustain at least 0.9x the object plane's
+  throughput, so a data-plane slowdown fails CI instead of silently
+  landing;
+* at bench scale the columnar plane must beat the object plane by at
+  least 3x on the numpy backend;
+
+and the two planes' seeded mean accuracy losses must agree (same
+records sampled → same estimates).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+from repro.core.fastpath import numpy_available
+from repro.experiments.base import ExperimentScale, uniform_schedule
+from repro.metrics.report import Table, format_rate
+from repro.system.config import PipelineConfig
+from repro.system.statistical import StatisticalRunner
+from repro.workloads.synthetic import paper_gaussian_substreams
+
+#: Fig. 6's operating point on the throughput axis.
+FRACTION = 0.1
+
+#: Timing repetitions; the best run is reported so allocator noise and
+#: first-call warmup do not flake the quick-scale CI assertion.
+REPEATS = 3
+
+
+@dataclass(frozen=True, slots=True)
+class PlanePoint:
+    """Measured throughput of one (backend, data plane) combination."""
+
+    backend: str
+    data_plane: str
+    items_per_second: float
+    mean_loss_percent: float
+
+
+def _measure(backend: str, data_plane: str, scale: ExperimentScale) -> PlanePoint:
+    generators = {g.name: g for g in paper_gaussian_substreams()}
+    schedule = uniform_schedule(scale.rate_scale)
+    best = 0.0
+    loss = 0.0
+    for _ in range(REPEATS):
+        config = PipelineConfig(
+            sampling_fraction=FRACTION,
+            seed=scale.seed,
+            backend=backend,
+            transport="inprocess",
+            data_plane=data_plane,
+        )
+        runner = StatisticalRunner(config, schedule, generators)
+        start = time.perf_counter()
+        run = runner.run(scale.windows)
+        elapsed = time.perf_counter() - start
+        items = sum(window.items_emitted for window in run.windows)
+        best = max(best, items / elapsed)
+        loss = run.mean_approxiot_loss
+    return PlanePoint(backend, data_plane, best, loss)
+
+
+def run_engine_bench(scale: ExperimentScale) -> list[PlanePoint]:
+    """Throughput of both planes on every available backend."""
+    backends = ["python"] + (["numpy"] if numpy_available() else [])
+    return [
+        _measure(backend, plane, scale)
+        for backend in backends
+        for plane in ("objects", "columnar")
+    ]
+
+
+def render_table(points: list[PlanePoint]) -> str:
+    """The paper-style table for one measured sweep."""
+    table = Table(
+        "Engine throughput: objects vs columnar data plane (Fig. 6 "
+        "workload, 10% fraction)",
+        ["backend", "plane", "items/s", "speedup", "mean loss"],
+    )
+    baselines = {
+        p.backend: p.items_per_second
+        for p in points
+        if p.data_plane == "objects"
+    }
+    for point in points:
+        table.add_row(
+            point.backend,
+            point.data_plane,
+            format_rate(point.items_per_second),
+            f"{point.items_per_second / baselines[point.backend]:.1f}x",
+            f"{point.mean_loss_percent:.3f}%",
+        )
+    return table.render()
+
+
+def main(scale: ExperimentScale | None = None) -> str:
+    """Print the engine-throughput table; return the text."""
+    scale = scale if scale is not None else ExperimentScale.bench()
+    text = render_table(run_engine_bench(scale))
+    print(text)
+    return text
+
+
+def test_bench_engine(benchmark, bench_scale, results_sink):
+    """Columnar ≥ objects everywhere; ≥ 3x on numpy at bench scale.
+
+    One measured sweep feeds both the published table and the gating
+    assertions, so the numbers in ``results.txt`` are exactly the
+    numbers CI passed (or failed) on.
+    """
+    points = benchmark.pedantic(
+        run_engine_bench, args=(bench_scale,), rounds=1, iterations=1
+    )
+    text = render_table(points)
+    print(text)
+    results_sink(text)
+
+    by_key = {(p.backend, p.data_plane): p for p in points}
+    at_bench = os.environ.get("REPRO_BENCH_SCALE", "bench") == "bench"
+    for backend in {backend for backend, _ in by_key}:
+        objects = by_key[(backend, "objects")]
+        columnar = by_key[(backend, "columnar")]
+        # Perf smoke (both scales): the columnar plane must never fall
+        # behind the object plane; 0.9x tolerance absorbs timer noise.
+        assert columnar.items_per_second >= 0.9 * objects.items_per_second
+        # Seeded accuracy is plane-invariant (same records sampled).
+        assert abs(columnar.mean_loss_percent - objects.mean_loss_percent) < 1e-6
+        if at_bench and backend == "numpy":
+            # The headline claim: ≥ 3x end-to-end at Fig. 6 scale.
+            assert columnar.items_per_second >= 3.0 * objects.items_per_second

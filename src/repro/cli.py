@@ -3,9 +3,9 @@
 Commands:
 
 * ``figures [ids...] [--scale quick|bench] [--backend ...]
-  [--transport ...]`` — regenerate the paper's evaluation figures as
-  text tables (all of them by default) on the selected sampling
-  backend and inter-node transport.
+  [--transport ...] [--data-plane ...]`` — regenerate the paper's
+  evaluation figures as text tables (all of them by default) on the
+  selected sampling backend, inter-node transport and data plane.
 * ``list`` — list the available figures with descriptions.
 * ``info`` — print the library version and subsystem inventory.
 """
@@ -22,7 +22,7 @@ from repro.core.fastpath import BACKENDS
 from repro.errors import ReproError
 from repro.experiments.base import ExperimentScale
 from repro.experiments.figures import FIGURES, run_figure
-from repro.system.config import TRANSPORTS
+from repro.system.config import DATA_PLANES, TRANSPORTS
 
 __all__ = ["build_parser", "main"]
 
@@ -81,6 +81,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="inter-node transport (default: auto — in-process for "
              "accuracy figures, simnet for deployment figures)",
     )
+    figures.add_argument(
+        "--data-plane",
+        choices=sorted(DATA_PLANES),
+        default="objects",
+        help="record representation between layers (default: objects; "
+             "columnar moves structure-of-arrays batches end-to-end "
+             "with identical seeded samples)",
+    )
 
     subparsers.add_parser("list", help="list available figures")
     subparsers.add_parser("info", help="print version and inventory")
@@ -88,10 +96,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_figures(
-    ids: list[str], scale_name: str, backend: str, transport: str
+    ids: list[str], scale_name: str, backend: str, transport: str,
+    data_plane: str,
 ) -> int:
     scale = replace(
-        _SCALES[scale_name](), backend=backend, transport=transport
+        _SCALES[scale_name](),
+        backend=backend,
+        transport=transport,
+        data_plane=data_plane,
     )
     targets = ids or sorted(FIGURES)
     for figure_id in targets:
@@ -126,7 +138,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     try:
         if args.command == "figures":
             return _cmd_figures(
-                args.ids, args.scale, args.backend, args.transport
+                args.ids, args.scale, args.backend, args.transport,
+                args.data_plane,
             )
         if args.command == "list":
             return _cmd_list()

@@ -8,6 +8,12 @@ primitives they build on (reservoir sampling, coin-flip SRS, stratum
 budget allocation) and the budget cost functions.
 """
 
+from repro.core.columns import (
+    ColumnarBatch,
+    group_payload,
+    masked_sum,
+    payload_timestamps,
+)
 from repro.core.cost import AdaptiveErrorBudget, FractionBudget, ThroughputBudget
 from repro.core.error_bounds import (
     ApproximateResult,
@@ -55,6 +61,7 @@ __all__ = [
     "ApproximateResult",
     "BACKENDS",
     "CoinFlipSampler",
+    "ColumnarBatch",
     "FractionBudget",
     "NumpyReservoirSampler",
     "ParallelSamplingNode",
@@ -83,6 +90,9 @@ __all__ = [
     "estimate_sum_with_error",
     "get_allocation_policy",
     "group_by_substream",
+    "group_payload",
+    "masked_sum",
+    "payload_timestamps",
     "horvitz_thompson_sum",
     "local_weight",
     "make_reservoir_sampler",

@@ -1,0 +1,405 @@
+"""Columnar (structure-of-arrays) batches — the columnar data plane.
+
+The object data plane moves one :class:`~repro.core.items.StreamItem`
+per record through every layer, which makes Python object churn — not
+sampling math — the dominant cost of a run. A :class:`ColumnarBatch`
+holds the same records as four parallel columns (sub-stream ids,
+values, emission timestamps, serialized sizes), so the hot path — rate
+spreading, grouping, reservoir selection, weighted sums, coin flips —
+becomes array indexing instead of per-item attribute access.
+
+Columns are numpy ``float64`` arrays when numpy is importable and
+stdlib ``array('d')`` buffers otherwise, so the dependency-free CI leg
+runs the same plane (slower, but identical results).
+
+Two properties make the plane a drop-in:
+
+* **Seeded parity with the object plane.** Every generator's
+  ``generate_columns`` draws values with exactly the per-item RNG
+  calls of its ``generate``, and the sampling kernels select survivor
+  *indices* with the entropy the object kernels would have spent on
+  items. A seeded run therefore samples the *same* records on either
+  plane; only floating-point summation order differs (vectorized sums
+  associate differently), so cross-plane estimates agree to ~1e-12
+  relative rather than bit-for-bit.
+* **Compatibility shims.** :meth:`ColumnarBatch.from_items` /
+  :meth:`ColumnarBatch.to_items` convert at any seam, and iterating a
+  batch yields :class:`StreamItem` objects, so per-item consumers
+  (streams processors, queries) keep working unmodified against a
+  columnar payload.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.items import StreamItem, group_by_substream
+from repro.errors import SamplingError
+
+try:  # pragma: no cover - trivially environment-dependent
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+__all__ = [
+    "ColumnarBatch",
+    "concat_value_chunks",
+    "group_payload",
+    "masked_sum",
+    "payload_timestamps",
+    "value_column",
+]
+
+#: Default serialized item size, mirroring ``StreamItem.size_bytes``.
+DEFAULT_ITEM_BYTES = 100
+
+
+def value_column(values: Iterable[float]):
+    """Materialize an iterable of floats as a contiguous column."""
+    if _np is not None:
+        if not isinstance(values, (list, tuple, array, _np.ndarray)):
+            values = list(values)  # asarray rejects lazy iterables
+        return _np.asarray(values, dtype=_np.float64)
+    return values if isinstance(values, array) else array("d", values)
+
+
+def _empty_column():
+    if _np is not None:
+        return _np.empty(0, dtype=_np.float64)
+    return array("d")
+
+
+def _take(column, indices: Sequence[int]):
+    """Gather ``column[i]`` for each index, preserving index order."""
+    if _np is not None and isinstance(column, _np.ndarray):
+        return column[_np.asarray(indices, dtype=_np.intp)]
+    return array("d", (column[i] for i in indices))
+
+
+def _concat(columns: list):
+    if len(columns) == 1:
+        return columns[0]
+    if _np is not None and all(isinstance(c, _np.ndarray) for c in columns):
+        return _np.concatenate(columns)
+    merged = array("d")
+    for column in columns:
+        merged.extend(column)
+    return merged
+
+
+def _column_sum(column) -> float:
+    if _np is not None and isinstance(column, _np.ndarray):
+        return float(column.sum())
+    return float(sum(column))
+
+
+class ColumnarBatch:
+    """A set of stream records stored as parallel columns (SoA).
+
+    Attributes:
+        substreams: The per-record stratum ids — a single ``str`` when
+            every record belongs to one sub-stream (the common case:
+            sources are per-stratum, and sampled batches are grouped),
+            or a ``list[str]`` for mixed batches (e.g. the skewed
+            mixture workload before stratification).
+        values: Contiguous float64 column of record payloads.
+        timestamps: Contiguous float64 column of emission times.
+        sizes: Serialized record sizes for bandwidth accounting — a
+            single ``int`` when uniform, or a ``list[int]`` per record.
+    """
+
+    __slots__ = ("substreams", "values", "timestamps", "sizes")
+
+    def __init__(self, substreams, values, timestamps, sizes=DEFAULT_ITEM_BYTES):
+        self.substreams = substreams
+        self.values = values
+        self.timestamps = timestamps
+        self.sizes = sizes
+        if len(values) != len(timestamps):
+            raise SamplingError(
+                f"column length mismatch: {len(values)} values vs "
+                f"{len(timestamps)} timestamps"
+            )
+        if not isinstance(substreams, str) and len(substreams) != len(values):
+            raise SamplingError(
+                f"column length mismatch: {len(values)} values vs "
+                f"{len(substreams)} substream ids"
+            )
+        if not isinstance(sizes, int) and len(sizes) != len(values):
+            raise SamplingError(
+                f"column length mismatch: {len(values)} values vs "
+                f"{len(sizes)} sizes"
+            )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def single(
+        cls,
+        substream: str,
+        values: Iterable[float],
+        emitted_at: float = 0.0,
+        size_bytes: int = DEFAULT_ITEM_BYTES,
+    ) -> "ColumnarBatch":
+        """A uniform-stratum batch with a constant emission time."""
+        column = value_column(values)
+        n = len(column)
+        if _np is not None and isinstance(column, _np.ndarray):
+            timestamps = _np.full(n, float(emitted_at))
+        else:
+            timestamps = array("d", [float(emitted_at)]) * n
+        return cls(substream, column, timestamps, size_bytes)
+
+    @classmethod
+    def empty(cls) -> "ColumnarBatch":
+        """A zero-record batch (what a silent interval emits)."""
+        return cls("", _empty_column(), _empty_column())
+
+    @classmethod
+    def from_items(cls, items: Sequence[StreamItem]) -> "ColumnarBatch":
+        """Transpose object records into columns (the object→SoA shim)."""
+        items = list(items)
+        if not items:
+            return cls.empty()
+        ids = [item.substream for item in items]
+        first_id = ids[0]
+        substreams = first_id if all(s == first_id for s in ids) else ids
+        sizes_list = [item.size_bytes for item in items]
+        first_size = sizes_list[0]
+        sizes = (
+            first_size
+            if all(s == first_size for s in sizes_list)
+            else sizes_list
+        )
+        return cls(
+            substreams,
+            value_column([item.value for item in items]),
+            value_column([item.emitted_at for item in items]),
+            sizes,
+        )
+
+    @classmethod
+    def concat(cls, batches: Sequence["ColumnarBatch"]) -> "ColumnarBatch":
+        """Stack batches record-wise, preserving order."""
+        batches = [batch for batch in batches if len(batch)]
+        if not batches:
+            return cls.empty()
+        if len(batches) == 1:
+            return batches[0]
+        tags = [b.substreams for b in batches if isinstance(b.substreams, str)]
+        if len(tags) == len(batches) and len(set(tags)) == 1:
+            substreams: str | list[str] = tags[0]
+        else:
+            substreams = []
+            for batch in batches:
+                substreams.extend(batch.substream_ids())
+        uniform = [b.sizes for b in batches if isinstance(b.sizes, int)]
+        if len(uniform) == len(batches) and len(set(uniform)) == 1:
+            sizes: int | list[int] = uniform[0]
+        else:
+            sizes = []
+            for batch in batches:
+                sizes.extend(batch.size_list())
+        return cls(
+            substreams,
+            _concat([b.values for b in batches]),
+            _concat([b.timestamps for b in batches]),
+            sizes,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def uniform_substream(self) -> str | None:
+        """The single stratum id, or ``None`` for a mixed batch."""
+        return self.substreams if isinstance(self.substreams, str) else None
+
+    def substream_ids(self) -> list[str]:
+        """Per-record stratum ids (materializes the uniform tag)."""
+        if isinstance(self.substreams, str):
+            return [self.substreams] * len(self)
+        return list(self.substreams)
+
+    def size_list(self) -> list[int]:
+        """Per-record serialized sizes (materializes the uniform size)."""
+        if isinstance(self.sizes, int):
+            return [self.sizes] * len(self)
+        return list(self.sizes)
+
+    @property
+    def total_bytes(self) -> int:
+        """Serialized payload size for bandwidth accounting."""
+        if isinstance(self.sizes, int):
+            return self.sizes * len(self)
+        return int(sum(self.sizes))
+
+    def value_sum(self) -> float:
+        """Sum of the value column (one vector op on numpy columns)."""
+        return _column_sum(self.values)
+
+    # ------------------------------------------------------------------
+    # Transformation
+    # ------------------------------------------------------------------
+    def select(self, indices: Sequence[int]) -> "ColumnarBatch":
+        """Gather the records at ``indices`` (the sampling primitive)."""
+        substreams = (
+            self.substreams
+            if isinstance(self.substreams, str)
+            else [self.substreams[i] for i in indices]
+        )
+        sizes = (
+            self.sizes
+            if isinstance(self.sizes, int)
+            else [self.sizes[i] for i in indices]
+        )
+        return ColumnarBatch(
+            substreams,
+            _take(self.values, indices),
+            _take(self.timestamps, indices),
+            sizes,
+        )
+
+    def compress(self, mask: Sequence[bool]) -> "ColumnarBatch":
+        """Keep the records whose mask entry is true (vectorized filter)."""
+        if len(mask) != len(self):
+            raise SamplingError(
+                f"mask length {len(mask)} does not match batch of {len(self)}"
+            )
+        if _np is not None and isinstance(self.values, _np.ndarray):
+            indices = _np.nonzero(_np.asarray(mask, dtype=bool))[0]
+        else:
+            indices = [i for i, keep in enumerate(mask) if keep]
+        return self.select(indices)
+
+    def with_spread_timestamps(
+        self, interval_start: float, interval_seconds: float
+    ) -> "ColumnarBatch":
+        """Spread emission times uniformly over an interval.
+
+        Element-wise this computes exactly the object plane's
+        ``interval_start + interval_seconds * (i + 1) / (count + 1)``,
+        so timestamps agree bit-for-bit across planes — the network
+        simulator's latency accounting sees identical arrival times.
+        """
+        n = len(self)
+        if n == 0:
+            return self
+        if _np is not None and isinstance(self.values, _np.ndarray):
+            offsets = interval_seconds * _np.arange(1, n + 1, dtype=_np.float64)
+            timestamps = interval_start + offsets / (n + 1)
+        else:
+            timestamps = array(
+                "d",
+                (
+                    interval_start + interval_seconds * (i + 1) / (n + 1)
+                    for i in range(n)
+                ),
+            )
+        return ColumnarBatch(self.substreams, self.values, timestamps, self.sizes)
+
+    def group_by_substream(self) -> dict[str, "ColumnarBatch"]:
+        """Stratify by sub-stream id, preserving first-occurrence order.
+
+        The columnar ``Update`` step (Algorithm 1, line 5): uniform
+        batches — the common case — return themselves without touching
+        a single record.
+        """
+        if len(self) == 0:
+            return {}
+        if isinstance(self.substreams, str):
+            return {self.substreams: self}
+        groups: dict[str, list[int]] = {}
+        for index, substream in enumerate(self.substreams):
+            groups.setdefault(substream, []).append(index)
+        return {
+            substream: self.select(indices)
+            for substream, indices in groups.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Object-plane shims
+    # ------------------------------------------------------------------
+    def to_items(self) -> list[StreamItem]:
+        """Materialize object records (the SoA→object shim)."""
+        return list(self)
+
+    def __iter__(self) -> Iterator[StreamItem]:
+        ids = (
+            [self.substreams] * len(self)
+            if isinstance(self.substreams, str)
+            else self.substreams
+        )
+        sizes = (
+            [self.sizes] * len(self)
+            if isinstance(self.sizes, int)
+            else self.sizes
+        )
+        for substream, value, timestamp, size in zip(
+            ids, self.values, self.timestamps, sizes
+        ):
+            yield StreamItem(substream, float(value), float(timestamp), int(size))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        tag = self.uniform_substream
+        label = tag if tag is not None else f"{len(set(self.substreams))} strata"
+        return f"ColumnarBatch({label!r}, n={len(self)})"
+
+
+def group_payload(payload) -> dict:
+    """Stratify either payload representation by sub-stream.
+
+    The one dispatch point the engines share: a ``list[StreamItem]``
+    goes through :func:`~repro.core.items.group_by_substream`, a
+    :class:`ColumnarBatch` through its own (usually zero-copy)
+    grouping. Both return first-occurrence-ordered dicts, so a seeded
+    run visits strata in the same order on either plane.
+    """
+    if isinstance(payload, ColumnarBatch):
+        return payload.group_by_substream()
+    return group_by_substream(payload)
+
+
+def masked_sum(column, mask: Sequence[bool]) -> float:
+    """Sum of the column entries whose mask entry is true.
+
+    One select-and-reduce vector op on numpy columns; the SRS
+    baseline's Horvitz-Thompson numerator on the columnar plane.
+    """
+    if _np is not None and isinstance(column, _np.ndarray):
+        return float(column[_np.asarray(mask, dtype=bool)].sum())
+    return float(sum(value for value, keep in zip(column, mask) if keep))
+
+
+def concat_value_chunks(chunks: list) -> Sequence[float]:
+    """Flatten per-batch value chunks into one value sequence.
+
+    The root estimator accumulates one chunk per stored batch — a
+    plain list on the object plane, a value column on the columnar
+    plane. A single chunk passes through untouched (the object plane
+    keeps its exact list identity semantics); columnar chunks merge
+    into one contiguous column so the variance estimator stays
+    vectorized.
+    """
+    if len(chunks) == 1:
+        return chunks[0]
+    if _np is not None and any(isinstance(c, _np.ndarray) for c in chunks):
+        return _np.concatenate(
+            [_np.asarray(c, dtype=_np.float64) for c in chunks]
+        )
+    flat: list[float] = []
+    for chunk in chunks:
+        flat.extend(chunk)
+    return flat
+
+
+def payload_timestamps(payload) -> Iterable[float]:
+    """Emission timestamps of either payload representation."""
+    if isinstance(payload, ColumnarBatch):
+        return payload.timestamps
+    return (item.emitted_at for item in payload)

@@ -25,10 +25,15 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from statistics import NormalDist
-from typing import Mapping
+from typing import Mapping, Sequence
 
 from repro.core.estimator import SubstreamEstimate, ThetaStore
 from repro.errors import EstimationError
+
+try:  # pragma: no cover - trivially environment-dependent
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
 
 __all__ = [
     "ApproximateResult",
@@ -88,11 +93,18 @@ class ApproximateResult:
         return f"{self.value:.6g} ± {self.error:.3g} ({self.confidence:.1%})"
 
 
-def sample_variance(values: list[float]) -> float:
-    """Unbiased sample variance ``s^2`` (Eq. 12); 0.0 for n < 2."""
+def sample_variance(values: Sequence[float]) -> float:
+    """Unbiased sample variance ``s^2`` (Eq. 12); 0.0 for n < 2.
+
+    Accepts either a plain sequence (the object plane, summed exactly
+    as the seed implementation did) or a contiguous numpy value column
+    (the columnar plane, reduced with one vector op).
+    """
     n = len(values)
     if n < 2:
         return 0.0
+    if _np is not None and isinstance(values, _np.ndarray):
+        return float(values.var(ddof=1))
     mean = sum(values) / n
     return sum((v - mean) ** 2 for v in values) / (n - 1)
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from repro.core.columns import concat_value_chunks
 from repro.core.items import WeightedBatch
 from repro.errors import EstimationError
 
@@ -32,14 +33,16 @@ class SubstreamEstimate:
         estimated_sum: ``SUM_i`` of Eq. 3.
         estimated_count: ``c_i,b`` recovered through Eq. 8.
         sampled_count: ``zeta`` — number of physical items at the root.
-        sampled_values: The raw sampled values (needed for variance).
+        sampled_values: The raw sampled values (needed for variance) —
+            a plain list on the object plane, a contiguous value
+            column on the columnar plane.
     """
 
     substream: str
     estimated_sum: float
     estimated_count: float
     sampled_count: int
-    sampled_values: list[float]
+    sampled_values: Sequence[float]
 
     @property
     def estimated_mean(self) -> float:
@@ -89,15 +92,28 @@ class ThetaStore:
         return len(self._batches)
 
     def per_substream(self) -> dict[str, SubstreamEstimate]:
-        """Compute :class:`SubstreamEstimate` for every stored stratum."""
+        """Compute :class:`SubstreamEstimate` for every stored stratum.
+
+        Works on either data plane: object batches contribute their
+        item values, columnar batches contribute their value columns
+        directly (Eq. 3's weighted sums are one vector op each), and a
+        stratum's sampled values stay columnar when its batches were.
+        """
         sums: dict[str, float] = {}
         counts: dict[str, float] = {}
-        sampled: dict[str, list[float]] = {}
+        chunks: dict[str, list] = {}
         for batch in self._batches:
             key = batch.substream
             sums[key] = sums.get(key, 0.0) + batch.estimated_sum
             counts[key] = counts.get(key, 0.0) + batch.estimated_count
-            sampled.setdefault(key, []).extend(item.value for item in batch.items)
+            payload = batch.items
+            chunk = (
+                [item.value for item in payload]
+                if isinstance(payload, list)
+                else payload.values
+            )
+            chunks.setdefault(key, []).append(chunk)
+        sampled = {key: concat_value_chunks(chunks[key]) for key in chunks}
         return {
             key: SubstreamEstimate(
                 substream=key,

@@ -63,6 +63,7 @@ __all__ = [
     "make_generator",
     "make_reservoir_sampler",
     "numpy_available",
+    "reservoir_sample_indices",
     "resolve_backend",
     "sample_materialized",
 ]
@@ -136,6 +137,30 @@ def batch_sample_indices(population: int, capacity: int, gen) -> list[int]:
     indices = gen.choice(population, size=capacity, replace=False)
     indices.sort()
     return indices.tolist()
+
+
+def reservoir_sample_indices(
+    population: int, capacity: int, rng: random.Random
+) -> list[int]:
+    """Survivor indices of Algorithm R over ``range(population)``.
+
+    The pure-Python twin of :func:`batch_sample_indices` for the
+    columnar plane: it replays :class:`ReservoirSampler`'s per-item
+    entropy consumption (one ``randrange(seen)`` per item beyond the
+    capacity) over *indices* instead of items, so a seeded columnar run
+    selects exactly the records — in exactly the reservoir-slot order —
+    that the object plane's ``ReservoirSampler`` would have kept.
+    """
+    if capacity <= 0:
+        raise SamplingError(f"reservoir capacity must be >= 1, got {capacity}")
+    if population < 0:
+        raise SamplingError(f"population must be >= 0, got {population}")
+    reservoir = list(range(min(population, capacity)))
+    for index in range(capacity, population):
+        slot = rng.randrange(index + 1)
+        if slot < capacity:
+            reservoir[slot] = index
+    return reservoir
 
 
 def sample_materialized(items: Sequence[T], capacity: int, gen) -> list[T]:

@@ -5,12 +5,26 @@ with the sub-stream (stratum) it belongs to and the simulated time at
 which its source emitted it. Nodes exchange *weighted batches*: a set of
 items from one sub-stream together with the output weight computed by
 Algorithm 1 (the ``(W_out, I)`` pairs the paper stores in ``Theta``).
+
+A batch's payload takes one of two representations — the *data plane*:
+
+* a ``list[StreamItem]`` (the object plane, this module's original
+  contract), or
+* a :class:`~repro.core.columns.ColumnarBatch` (the columnar plane:
+  the same records as structure-of-arrays columns, which the hot paths
+  aggregate with vector ops instead of per-item attribute access).
+
+:class:`WeightedBatch` dispatches on the payload so every consumer —
+transports, Theta, the estimators — works with either plane.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+if TYPE_CHECKING:  # circular at runtime: repro.core.columns imports us
+    from repro.core.columns import ColumnarBatch
 
 __all__ = ["StreamItem", "WeightedBatch", "group_by_substream"]
 
@@ -51,12 +65,15 @@ class WeightedBatch:
         weight: The output weight ``W_out`` attached by the last node
             that sampled the batch. A weight of ``w`` means each carried
             item statistically represents ``w`` original items.
-        items: The sampled items.
+        items: The sampled records — a ``list[StreamItem]`` on the
+            object plane or a :class:`~repro.core.columns.ColumnarBatch`
+            on the columnar plane. Iterating yields
+            :class:`StreamItem` objects on either plane.
     """
 
     substream: str
     weight: float
-    items: list[StreamItem] = field(default_factory=list)
+    items: "list[StreamItem] | ColumnarBatch" = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.weight <= 0:
@@ -80,12 +97,16 @@ class WeightedBatch:
     @property
     def estimated_sum(self) -> float:
         """Weighted sum contribution of this batch (inner term of Eq. 3)."""
-        return self.weight * sum(item.value for item in self.items)
+        if isinstance(self.items, list):
+            return self.weight * sum(item.value for item in self.items)
+        return self.weight * self.items.value_sum()
 
     @property
     def total_bytes(self) -> int:
         """Serialized payload size of the batch for bandwidth accounting."""
-        return sum(item.size_bytes for item in self.items)
+        if isinstance(self.items, list):
+            return sum(item.size_bytes for item in self.items)
+        return self.items.total_bytes
 
 
 def group_by_substream(items: Iterable[StreamItem]) -> dict[str, list[StreamItem]]:

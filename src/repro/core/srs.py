@@ -75,6 +75,24 @@ class CoinFlipSampler(Generic[T]):
                 kept.append(item)
         return kept
 
+    def decisions(self, count: int) -> list[bool]:
+        """Keep/drop decisions for ``count`` records, in arrival order.
+
+        The columnar plane's coin flip: one decision per record drawn
+        with exactly the entropy :meth:`offer` would consume, so a
+        seeded run keeps the same records on either plane. The caller
+        applies the mask to its columns in one vector op (see
+        :meth:`~repro.core.columns.ColumnarBatch.compress`).
+        """
+        if count < 0:
+            raise SamplingError(f"count must be >= 0, got {count}")
+        rng = self._rng
+        fraction = self._fraction
+        mask = [rng.random() < fraction for _ in range(count)]
+        self._seen += count
+        self._kept += sum(mask)
+        return mask
+
     def reset_counters(self) -> None:
         """Zero the seen/kept counters (keep probability unchanged)."""
         self._seen = 0

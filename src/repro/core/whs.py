@@ -22,11 +22,14 @@ import random
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
+from repro.core.columns import ColumnarBatch
 from repro.core.fastpath import (
     BACKEND_AUTO,
     BACKEND_NUMPY,
     BACKEND_PYTHON,
+    batch_sample_indices,
     make_generator,
+    reservoir_sample_indices,
     resolve_backend,
     sample_materialized,
 )
@@ -104,18 +107,35 @@ def whsamp_batches(
     :mod:`repro.core.fastpath`): the pure-Python reservoir loop (the
     bit-for-bit default) or the vectorized numpy survivor-set draw.
     Both satisfy the Eq. 8 invariant exactly.
+
+    Payloads may arrive on either data plane. Columnar groups are
+    sampled natively — survivor *indices* are drawn with exactly the
+    entropy the object kernels would spend on items, then gathered
+    with one column op — so a seeded run keeps the same records on
+    either plane without any list→array conversion on the hot path.
     """
     if sample_size <= 0:
         raise SamplingError(f"sample size must be positive, got {sample_size}")
     rng = rng if rng is not None else random.Random()
     backend = resolve_backend(backend)
 
-    groups: dict[tuple[str, float], list[StreamItem]] = {}
+    segments: dict[tuple[str, float], list] = {}
     for batch in batches:
-        groups.setdefault((batch.substream, batch.weight), []).extend(
+        segments.setdefault((batch.substream, batch.weight), []).append(
             batch.items
         )
-    groups = {key: items for key, items in groups.items() if items}
+    groups: dict[tuple[str, float], "list[StreamItem] | ColumnarBatch"] = {}
+    for key, payloads in segments.items():
+        payloads = [payload for payload in payloads if len(payload)]
+        if not payloads:
+            continue
+        if all(isinstance(payload, ColumnarBatch) for payload in payloads):
+            groups[key] = ColumnarBatch.concat(payloads)
+        else:  # object plane (or a mixed-plane seam: materialize)
+            merged: list[StreamItem] = []
+            for payload in payloads:
+                merged.extend(payload)
+            groups[key] = merged
 
     result = WHSampResult()
     if not groups:
@@ -130,7 +150,20 @@ def whsamp_batches(
     for (substream, w_in), group_items in groups.items():
         key = (substream, w_in)
         capacity = allocation[key]
-        if gen is not None:  # line 10: RS(S_i, N_i), vectorized
+        if isinstance(group_items, ColumnarBatch):
+            # line 10: RS(S_i, N_i) on columns — survivor indices drawn
+            # with the same entropy as the object kernels, one gather.
+            if counts[key] <= capacity:
+                sampled: "list[StreamItem] | ColumnarBatch" = group_items
+            elif gen is not None:
+                sampled = group_items.select(
+                    batch_sample_indices(counts[key], capacity, gen)
+                )
+            else:
+                sampled = group_items.select(
+                    reservoir_sample_indices(counts[key], capacity, rng)
+                )
+        elif gen is not None:  # line 10: RS(S_i, N_i), vectorized
             sampled = sample_materialized(group_items, capacity, gen)
         else:  # line 10: RS(S_i, N_i), per-item Algorithm R
             sampler: ReservoirSampler[StreamItem] = ReservoirSampler(
@@ -186,7 +219,13 @@ def whsamp(
         if isinstance(input_weights, WeightMap)
         else WeightMap(input_weights)
     )
-    substreams = group_by_substream(items)  # line 5: Update(items)
+    # line 5: Update(items) — plane-aware stratification (a columnar
+    # input batch is grouped without materializing objects).
+    substreams = (
+        items.group_by_substream()
+        if isinstance(items, ColumnarBatch)
+        else group_by_substream(items)
+    )
     pairs = [
         WeightedBatch(substream, weights_in.get(substream), sub_items)
         for substream, sub_items in substreams.items()

@@ -23,7 +23,12 @@ from repro.workloads.rates import RateSchedule
 from repro.workloads.source import ItemGenerator, Source
 
 if TYPE_CHECKING:  # circular at runtime: repro.system facades import us
+    from repro.core.columns import ColumnarBatch
+    from repro.core.items import StreamItem
     from repro.system.config import PipelineConfig
+
+    #: One source's interval batch, in either plane's representation.
+    SourcePayload = list[StreamItem] | ColumnarBatch
 
 __all__ = ["Pipeline", "build_pipeline"]
 
@@ -46,12 +51,17 @@ class Pipeline:
         budgets: Per-interval sample budget for every sampling node,
             sized so the node passes on ``sampling_fraction`` of its
             subtree's original volume.
+        data_plane: The record representation this run moves between
+            layers (``config.data_plane``): ``"objects"`` emits
+            ``list[StreamItem]`` batches, ``"columnar"`` emits
+            :class:`~repro.core.columns.ColumnarBatch` columns.
     """
 
     config: PipelineConfig
     tree: LogicalTree
     backend: str
     rng: random.Random
+    data_plane: str = "objects"
     sources: dict[str, Source] = field(default_factory=dict)
     source_rates: dict[str, float] = field(default_factory=dict)
     budgets: dict[str, int] = field(default_factory=dict)
@@ -73,15 +83,30 @@ class Pipeline:
             if node_name in self.tree.path_to_root(source.name)
         )
 
-    def emit_window(self, window_start: float) -> dict[str, list]:
+    def emit_source(
+        self, node_name: str, interval_start: float, interval_seconds: float
+    ) -> "SourcePayload":
+        """One source's batch on this run's data plane.
+
+        Returns ``list[StreamItem]`` on the object plane, a
+        :class:`~repro.core.columns.ColumnarBatch` on the columnar
+        plane — with identical seeded records either way.
+        """
+        source = self.sources[node_name]
+        if self.data_plane == "columnar":
+            return source.emit_interval_columns(interval_start, interval_seconds)
+        return source.emit_interval(interval_start, interval_seconds)
+
+    def emit_window(self, window_start: float) -> "dict[str, SourcePayload]":
         """One window's emissions, keyed by source node name.
 
         Sources are driven in tree order so a seeded run is
-        deterministic regardless of the transport in use.
+        deterministic regardless of the transport in use. Payload
+        representation follows :attr:`data_plane`.
         """
         return {
-            node.name: self.sources[node.name].emit_interval(
-                window_start, self.config.window_seconds
+            node.name: self.emit_source(
+                node.name, window_start, self.config.window_seconds
             )
             for node in self.tree.sources
         }
@@ -145,6 +170,7 @@ def build_pipeline(
         tree=tree,
         backend=config.resolved_backend,
         rng=rng,
+        data_plane=config.data_plane,
         sources=_build_sources(tree, schedule, generators, rng),
     )
     pipeline.source_rates = {

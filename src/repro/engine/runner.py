@@ -23,9 +23,10 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro.core.columns import ColumnarBatch, group_payload, masked_sum
 from repro.core.error_bounds import ApproximateResult, estimate_sum_with_error
 from repro.core.estimator import ThetaStore
-from repro.core.items import StreamItem, WeightedBatch, group_by_substream
+from repro.core.items import StreamItem, WeightedBatch
 from repro.core.srs import CoinFlipSampler
 from repro.core.whs import WHSampResult, whsamp_batches
 from repro.engine.pipeline import Pipeline
@@ -167,20 +168,31 @@ class EngineRunner:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run_window(self) -> WindowOutcome:
-        """Run one window through ApproxIoT, SRS and the native path."""
+    def run_window(self) -> WindowOutcome | None:
+        """Run one window through ApproxIoT, SRS and the native path.
+
+        Returns ``None`` for a window in which no source emitted
+        anything — a legitimate intermittent outcome when a source's
+        ``rate * window`` is below one item, since the schedule-exact
+        rate accumulator owes such sources an empty interval every so
+        often. Time still advances past the empty window.
+        """
         window_start = self._windows_run * self._pipeline.config.window_seconds
         emitted = self._pipeline.emit_window(window_start)
         items_emitted = sum(len(batch) for batch in emitted.values())
         if items_emitted == 0:
-            raise PipelineError("sources emitted no items this window")
+            self._windows_run += 1
+            return None
 
         # The ground truth is the native strategy's answer, computed
         # directly: forwarding everything through the transport would
         # reach the same sum with an O(n) traversal for nothing.
-        exact_sum = sum(
-            item.value for batch in emitted.values() for item in batch
-        )
+        if self._pipeline.data_plane == "columnar":
+            exact_sum = sum(batch.value_sum() for batch in emitted.values())
+        else:
+            exact_sum = sum(
+                item.value for batch in emitted.values() for item in batch
+            )
         approx = self.run_approxiot(emitted)
         srs_sum = self.run_srs(emitted)
         self._windows_run += 1
@@ -194,35 +206,52 @@ class EngineRunner:
         )
 
     def run(self, windows: int) -> RunOutcome:
-        """Run several windows and collect the outcomes."""
+        """Run several windows and collect the outcomes.
+
+        Empty windows (low-rate sources owed no items yet) contribute
+        no outcome; a run in which *every* window was empty is a
+        configuration error and raises.
+        """
         if windows <= 0:
             raise PipelineError(f"window count must be >= 1, got {windows}")
         outcome = RunOutcome()
         for _ in range(windows):
-            outcome.windows.append(self.run_window())
+            window = self.run_window()
+            if window is not None:
+                outcome.windows.append(window)
+        if not outcome.windows:
+            raise PipelineError(
+                "sources emitted no items in any window of the run; "
+                "increase the source rates or the window size"
+            )
         return outcome
 
     # ------------------------------------------------------------------
     # Strategies
     # ------------------------------------------------------------------
-    def _inject(self, emitted: dict[str, list[StreamItem]]) -> None:
-        """Ship one window's emissions to the first sampling layer."""
+    def _inject(self, emitted: "dict[str, list[StreamItem] | ColumnarBatch]") -> None:
+        """Ship one window's emissions to the first sampling layer.
+
+        Plane-agnostic: object batches stratify per item, columnar
+        batches group by column (zero-copy for single-stratum sources)
+        — the payload rides the transport either way.
+        """
         tree = self._pipeline.tree
         for source_node in tree.sources:
-            batch_items = emitted[source_node.name]
-            if not batch_items:
+            payload = emitted[source_node.name]
+            if not len(payload):
                 continue
             parent = source_node.parent
             assert parent is not None
-            for substream, items in group_by_substream(batch_items).items():
+            for substream, chunk in group_payload(payload).items():
                 self._transport.send(
                     source_node.name,
                     parent,
-                    WeightedBatch(substream, 1.0, items),
+                    WeightedBatch(substream, 1.0, chunk),
                 )
 
     def run_approxiot(
-        self, emitted: dict[str, list[StreamItem]]
+        self, emitted: "dict[str, list[StreamItem] | ColumnarBatch]"
     ) -> ApproxIoTWindow:
         """Propagate one window bottom-up with WHSamp at every node."""
         self._inject(emitted)
@@ -241,21 +270,38 @@ class EngineRunner:
         approx = estimate_sum_with_error(theta, self._pipeline.config.confidence)
         return ApproxIoTWindow(theta=theta, approx=approx, sampled=sampled)
 
-    def run_srs(self, emitted: dict[str, list[StreamItem]]) -> float:
-        """The baseline: coin-flip at the first edge layer, HT at root."""
+    def run_srs(
+        self, emitted: "dict[str, list[StreamItem] | ColumnarBatch]"
+    ) -> float:
+        """The baseline: coin-flip at the first edge layer, HT at root.
+
+        The kept sum accumulates directly — no intermediate list of
+        kept values is materialized. On the columnar plane the coin
+        flip is a mask applied to the value column in one vector op
+        (decision entropy is identical per record, so seeded runs keep
+        the same records on either plane).
+        """
         fraction = self._pipeline.config.sampling_fraction
         rng = self._pipeline.rng
-        kept_values: list[float] = []
+        kept_sum = 0.0
         for node in self._pipeline.tree.sources:
             sampler = CoinFlipSampler(
                 fraction, random.Random(rng.getrandbits(64))
             )
-            kept_values.extend(
-                item.value for item in sampler.filter(emitted[node.name])
-            )
-        return sum(kept_values) / fraction
+            payload = emitted[node.name]
+            if isinstance(payload, ColumnarBatch):
+                kept_sum += masked_sum(
+                    payload.values, sampler.decisions(len(payload))
+                )
+            else:
+                for item in payload:
+                    if sampler.offer(item) is not None:
+                        kept_sum += item.value
+        return kept_sum / fraction
 
-    def run_native(self, emitted: dict[str, list[StreamItem]]) -> float:
+    def run_native(
+        self, emitted: "dict[str, list[StreamItem] | ColumnarBatch]"
+    ) -> float:
         """Everything forwarded unsampled; the root's sum is exact."""
         self._inject(emitted)
         total = 0.0

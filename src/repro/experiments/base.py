@@ -47,6 +47,9 @@ class ExperimentScale:
         transport: Inter-node transport every runner uses (``"auto"``
             resolves per engine; see
             :attr:`repro.system.config.PipelineConfig.transport`).
+        data_plane: Record representation every runner uses
+            (``"objects"`` / ``"columnar"``; see
+            :attr:`repro.system.config.PipelineConfig.data_plane`).
     """
 
     rate_scale: float = 1.0
@@ -54,6 +57,7 @@ class ExperimentScale:
     seed: int = 42
     backend: str = "auto"
     transport: str = "auto"
+    data_plane: str = "objects"
 
     def __post_init__(self) -> None:
         if self.rate_scale <= 0:
@@ -121,9 +125,10 @@ def base_config(fraction: float, scale: ExperimentScale,
                 placement: PlacementSpec | None = None) -> PipelineConfig:
     """A pipeline config with experiment-standard defaults.
 
-    Threads the scale's seed, sampling backend and transport into the
-    config, so ``python -m repro figures --backend/--transport`` reach
-    every figure runner through one seam.
+    Threads the scale's seed, sampling backend, transport and data
+    plane into the config, so ``python -m repro figures
+    --backend/--transport/--data-plane`` reach every figure runner
+    through one seam.
     """
     kwargs: dict[str, object] = {}
     if placement is not None:
@@ -135,5 +140,6 @@ def base_config(fraction: float, scale: ExperimentScale,
         seed=scale.seed,
         backend=scale.backend,
         transport=scale.transport,
+        data_plane=scale.data_plane,
         **kwargs,
     )

@@ -10,7 +10,13 @@ from repro.errors import ConfigurationError
 from repro.topology.placement import PlacementSpec
 from repro.topology.tree import LogicalTree, paper_tree
 
-__all__ = ["PipelineConfig", "ExecutionMode", "TRANSPORTS", "TRANSPORT_AUTO"]
+__all__ = [
+    "PipelineConfig",
+    "ExecutionMode",
+    "DATA_PLANES",
+    "TRANSPORTS",
+    "TRANSPORT_AUTO",
+]
 
 
 class ExecutionMode:
@@ -31,6 +37,14 @@ TRANSPORT_AUTO = "auto"
 #: Valid values of :attr:`PipelineConfig.transport` (see
 #: :mod:`repro.engine.transport` for the implementations).
 TRANSPORTS = (TRANSPORT_AUTO, "inprocess", "broker", "simnet")
+
+#: Valid values of :attr:`PipelineConfig.data_plane` — how records are
+#: represented between layers: per-item ``StreamItem`` objects
+#: (``"objects"``, the compatibility default) or structure-of-arrays
+#: :class:`~repro.core.columns.ColumnarBatch` columns (``"columnar"``,
+#: the high-throughput plane). Seeded runs sample identical records on
+#: either plane.
+DATA_PLANES = ("objects", "columnar")
 
 
 @dataclass(frozen=True)
@@ -60,6 +74,15 @@ class PipelineConfig:
             transport). The statistical runner supports inprocess and
             broker; the deployment simulator supports simnet and
             broker.
+        data_plane: How records are represented between layers —
+            ``"objects"`` (per-item ``StreamItem`` objects; the
+            compatibility default, bit-for-bit the seed behaviour) or
+            ``"columnar"`` (structure-of-arrays
+            :class:`~repro.core.columns.ColumnarBatch` batches,
+            aggregated with vector ops end-to-end). Seeded runs sample
+            identical records on either plane; vectorized reductions
+            associate differently, so estimates agree to ~1e-12
+            relative rather than bit-for-bit.
     """
 
     sampling_fraction: float = 0.1
@@ -74,6 +97,7 @@ class PipelineConfig:
     seed: int = 42
     backend: str = "auto"
     transport: str = TRANSPORT_AUTO
+    data_plane: str = "objects"
 
     def __post_init__(self) -> None:
         if not 0.0 < self.sampling_fraction <= 1.0:
@@ -102,6 +126,11 @@ class PipelineConfig:
                 f"transport must be one of {TRANSPORTS}, got "
                 f"{self.transport!r}"
             )
+        if self.data_plane not in DATA_PLANES:
+            raise ConfigurationError(
+                f"data_plane must be one of {DATA_PLANES}, got "
+                f"{self.data_plane!r}"
+            )
 
     @property
     def resolved_backend(self) -> str:
@@ -129,6 +158,10 @@ class PipelineConfig:
     def with_transport(self, transport: str) -> "PipelineConfig":
         """A copy of this config on a different inter-node transport."""
         return replace(self, transport=transport)
+
+    def with_data_plane(self, data_plane: str) -> "PipelineConfig":
+        """A copy of this config on a different data plane."""
+        return replace(self, data_plane=data_plane)
 
     def with_seed(self, seed: int) -> "PipelineConfig":
         """A copy of this config with a different random seed."""

@@ -38,7 +38,8 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.broker.broker import Broker
-from repro.core.items import StreamItem, WeightedBatch, group_by_substream
+from repro.core.columns import ColumnarBatch, group_payload, payload_timestamps
+from repro.core.items import StreamItem, WeightedBatch
 from repro.core.srs import CoinFlipSampler
 from repro.engine.pipeline import Pipeline, build_pipeline
 from repro.engine.runner import sample_interval
@@ -232,10 +233,10 @@ class DeploymentSimulator:
         self, source_node: TreeNode, chunk_start: float, chunk_seconds: float
     ):
         def emit() -> None:
-            batch = self._pipeline.sources[source_node.name].emit_interval(
-                chunk_start, chunk_seconds
+            batch = self._pipeline.emit_source(
+                source_node.name, chunk_start, chunk_seconds
             )
-            if not batch:
+            if not len(batch):
                 return
             self._items_emitted += len(batch)
             assert source_node.parent is not None
@@ -246,12 +247,16 @@ class DeploymentSimulator:
         self,
         src: str,
         dst: str,
-        items: list[StreamItem],
+        payload: "list[StreamItem] | ColumnarBatch",
         weight: float,
     ) -> None:
-        """Ship items toward ``dst``, splitting per sub-stream."""
-        for substream, sub_items in group_by_substream(items).items():
-            self._send_batch(src, dst, WeightedBatch(substream, weight, sub_items))
+        """Ship records toward ``dst``, splitting per sub-stream.
+
+        Plane-agnostic: the payload is stratified on its own plane and
+        each stratum rides the transport in its native representation.
+        """
+        for substream, chunk in group_payload(payload).items():
+            self._send_batch(src, dst, WeightedBatch(substream, weight, chunk))
 
     def _send_batch(self, src: str, dst: str, batch: WeightedBatch) -> None:
         """One upward hop: transport for approxiot, direct otherwise."""
@@ -306,8 +311,8 @@ class DeploymentSimulator:
             self._items_at_root += ingested
             self._root_last_completion = max(self._root_last_completion, now)
             for batch in result.batches:
-                for item in batch.items:
-                    self._latency.record(item.emitted_at, now)
+                for emitted_at in payload_timestamps(batch.items):
+                    self._latency.record(emitted_at, now)
         else:
             assert state.node.parent is not None
             for batch in result.batches:
@@ -320,23 +325,29 @@ class DeploymentSimulator:
         if node.name == "root":
             self._items_at_root += len(batch)
             self._root_last_completion = max(self._root_last_completion, now)
-            for item in batch.items:
-                self._latency.record(item.emitted_at, now)
+            for emitted_at in payload_timestamps(batch.items):
+                self._latency.record(emitted_at, now)
             return
-        items = batch.items
+        payload = batch.items
         weight = batch.weight
         if self._config.mode == ExecutionMode.SRS and node.layer == 1:
             fraction = self._config.sampling_fraction
             sampler = CoinFlipSampler(
                 fraction, random.Random(self._rng.getrandbits(64))
             )
-            items = sampler.filter(items)
+            if isinstance(payload, ColumnarBatch):
+                # Same per-record decision entropy as filter(); the
+                # mask is applied to the columns in one vector op.
+                payload = payload.compress(sampler.decisions(len(payload)))
+            else:
+                payload = sampler.filter(payload)
             weight = batch.weight / fraction
-        if not items:
+        if not len(payload):
             return
         assert node.parent is not None
         self._send_batch(
-            node.name, node.parent, WeightedBatch(batch.substream, weight, items)
+            node.name, node.parent,
+            WeightedBatch(batch.substream, weight, payload),
         )
 
     # ------------------------------------------------------------------

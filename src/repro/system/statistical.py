@@ -56,8 +56,13 @@ class StatisticalRunner:
         """The underlying engine runner (pipeline + transport)."""
         return self._engine
 
-    def run_window(self) -> WindowOutcome:
-        """Run one window through ApproxIoT, SRS and the exact path."""
+    def run_window(self) -> WindowOutcome | None:
+        """Run one window through ApproxIoT, SRS and the exact path.
+
+        ``None`` marks a window in which no source emitted anything
+        (possible intermittently when ``rate * window`` is below one
+        item per source); :meth:`run` skips such windows.
+        """
         return self._engine.run_window()
 
     def run(self, windows: int) -> RunOutcome:

@@ -19,6 +19,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from repro.core.columns import ColumnarBatch
 from repro.core.items import StreamItem
 from repro.errors import WorkloadError
 
@@ -145,29 +146,56 @@ class PollutantSubstream:
         baseline, _scale = POLLUTANTS[pollutant]
         self._level = baseline
 
-    def generate(
-        self, count: int, rng: random.Random, emitted_at: float = 0.0
-    ) -> list[StreamItem]:
-        """Draw ``count`` readings for this pollutant."""
+    def _draw_values(self, count: int, rng: random.Random) -> list[float]:
+        """The one AR(1) advance loop both data planes share.
+
+        A single copy of the stateful level recurrence keeps the
+        cross-plane parity invariant structural: ``generate`` and
+        ``generate_columns`` consume exactly this entropy and apply
+        exactly these level updates.
+        """
         if count < 0:
             raise WorkloadError(f"count must be >= 0, got {count}")
         baseline, scale = POLLUTANTS[self.pollutant]
-        items: list[StreamItem] = []
+        values: list[float] = []
         for _ in range(count):
             self._level = max(
                 0.0,
                 baseline + 0.95 * (self._level - baseline)
                 + rng.gauss(0, scale),
             )
-            items.append(
-                StreamItem(
-                    substream=f"pollution/{self.pollutant}",
-                    value=round(self._level, 2),
-                    emitted_at=emitted_at,
-                    size_bytes=self.item_bytes,
-                )
+            values.append(round(self._level, 2))
+        return values
+
+    def generate(
+        self, count: int, rng: random.Random, emitted_at: float = 0.0
+    ) -> list[StreamItem]:
+        """Draw ``count`` readings for this pollutant."""
+        return [
+            StreamItem(
+                substream=f"pollution/{self.pollutant}",
+                value=value,
+                emitted_at=emitted_at,
+                size_bytes=self.item_bytes,
             )
-        return items
+            for value in self._draw_values(count, rng)
+        ]
+
+    def generate_columns(
+        self, count: int, rng: random.Random, emitted_at: float = 0.0
+    ) -> ColumnarBatch:
+        """Advance the AR(1) level ``count`` steps into a columnar batch.
+
+        Same entropy and level updates as :meth:`generate` (they share
+        the advance loop), so seeded runs emit identical readings on
+        either data plane.
+        """
+        return ColumnarBatch.single(
+            f"pollution/{self.pollutant}",
+            self._draw_values(count, rng),
+            emitted_at,
+            self.item_bytes,
+        )
 
 
 def pollutant_generators() -> dict[str, PollutantSubstream]:

@@ -13,6 +13,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro.core.columns import ColumnarBatch
 from repro.core.items import StreamItem
 from repro.errors import WorkloadError
 from repro.workloads.synthetic import PoissonSubstream
@@ -81,6 +82,30 @@ class SkewedMixture:
             )
         rng.shuffle(items)
         return items
+
+    def generate_columns(
+        self, total_items: int, rng: random.Random, emitted_at: float = 0.0
+    ) -> ColumnarBatch:
+        """Columnar twin of :meth:`generate` (a mixed-stratum batch).
+
+        Sub-stream draws and the shuffle consume exactly the object
+        path's entropy — ``random.shuffle`` spends one draw per
+        position regardless of element type, so shuffling an index
+        permutation and gathering the columns lands every record in
+        the same slot a shuffled item list would occupy.
+        """
+        counts = self.counts_for(total_items)
+        merged = ColumnarBatch.concat(
+            [
+                substream.generate_columns(
+                    counts[substream.name], rng, emitted_at
+                )
+                for substream in self.substreams
+            ]
+        )
+        order = list(range(len(merged)))
+        rng.shuffle(order)
+        return merged.select(order)
 
 
 def paper_skewed_mixture() -> SkewedMixture:

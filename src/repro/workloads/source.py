@@ -12,21 +12,52 @@ from __future__ import annotations
 import random
 from typing import Callable, Protocol
 
+from repro.core.columns import ColumnarBatch
 from repro.core.items import StreamItem
 from repro.errors import WorkloadError
 from repro.workloads.rates import RateSchedule
 
-__all__ = ["Source", "ItemGenerator", "sources_from_schedule"]
+__all__ = [
+    "Source",
+    "ItemGenerator",
+    "generate_columns",
+    "sources_from_schedule",
+]
 
 
 class ItemGenerator(Protocol):
-    """Anything that can generate ``count`` items at a timestamp."""
+    """Anything that can generate ``count`` items at a timestamp.
+
+    Generators may additionally implement ``generate_columns`` with
+    the same signature returning a
+    :class:`~repro.core.columns.ColumnarBatch`; the columnar data
+    plane uses it when present (see :func:`generate_columns`).
+    """
 
     def generate(
         self, count: int, rng: random.Random, emitted_at: float = 0.0
     ) -> list[StreamItem]:
         """Produce a batch of items."""
         ...  # pragma: no cover - protocol
+
+
+def generate_columns(
+    generator: ItemGenerator,
+    count: int,
+    rng: random.Random,
+    emitted_at: float = 0.0,
+) -> ColumnarBatch:
+    """A generator's batch as columns, however the generator is built.
+
+    Generators that implement ``generate_columns`` emit columns
+    natively (no item objects ever exist); anything else falls back to
+    transposing its object batch — same records, object-churn cost
+    paid once at the seam.
+    """
+    native = getattr(generator, "generate_columns", None)
+    if native is not None:
+        return native(count, rng, emitted_at)
+    return ColumnarBatch.from_items(generator.generate(count, rng, emitted_at))
 
 
 class Source:
@@ -49,6 +80,33 @@ class Source:
         self.rate_per_second = float(rate_per_second)
         self._rng = rng if rng is not None else random.Random()
         self.items_emitted = 0
+        # Centered at 0.5 so a lone interval rounds to nearest rather
+        # than truncating; see _interval_count.
+        self._carry = 0.5
+
+    def _interval_count(self, interval_seconds: float) -> int:
+        """Items due this interval, carrying the fractional remainder.
+
+        ``rate * interval`` is rarely an integer; rounding it per call
+        silently drops (or invents) volume — a 0.4 items/s source
+        would emit nothing forever, and a 0.6 items/s source would
+        emit 67% over schedule. The fractional remainder is carried
+        into the next interval instead, so long-run emitted counts
+        track the schedule exactly. The carry starts at one half so a
+        single interval still rounds to nearest — integer-rate sources
+        are unchanged, fractional first windows round half *up* (the
+        historical ``int(round(...))`` rounded half-integer ties to
+        even) — and thereafter the running total stays within one item
+        of ``rate * elapsed``.
+        """
+        if interval_seconds <= 0:
+            raise WorkloadError(
+                f"interval must be positive, got {interval_seconds}"
+            )
+        due = self.rate_per_second * interval_seconds + self._carry
+        count = int(due)
+        self._carry = due - count
+        return count
 
     def emit_interval(
         self, interval_start: float, interval_seconds: float
@@ -59,11 +117,7 @@ class Source:
         interval so latency accounting sees realistic in-interval
         arrival spread.
         """
-        if interval_seconds <= 0:
-            raise WorkloadError(
-                f"interval must be positive, got {interval_seconds}"
-            )
-        count = int(round(self.rate_per_second * interval_seconds))
+        count = self._interval_count(interval_seconds)
         if count == 0:
             return []
         batch = self._generator.generate(count, self._rng, interval_start)
@@ -80,6 +134,25 @@ class Source:
             )
         self.items_emitted += len(spread)
         return spread
+
+    def emit_interval_columns(
+        self, interval_start: float, interval_seconds: float
+    ) -> ColumnarBatch:
+        """Columnar twin of :meth:`emit_interval`.
+
+        Values come from the generator's columnar path (identical
+        entropy, so seeded emissions match the object plane exactly)
+        and the in-interval timestamp spread is one vector op instead
+        of a second per-item copy of the whole batch.
+        """
+        count = self._interval_count(interval_seconds)
+        if count == 0:
+            return ColumnarBatch.empty()
+        batch = generate_columns(
+            self._generator, count, self._rng, interval_start
+        ).with_spread_timestamps(interval_start, interval_seconds)
+        self.items_emitted += len(batch)
+        return batch
 
 
 class _CallableGenerator:

@@ -12,6 +12,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from repro.core.columns import ColumnarBatch
 from repro.core.items import StreamItem
 from repro.errors import WorkloadError
 
@@ -36,19 +37,39 @@ class GaussianSubstream:
         if self.sigma < 0:
             raise WorkloadError(f"sigma must be >= 0, got {self.sigma}")
 
+    def _draw_values(self, count: int, rng: random.Random) -> list[float]:
+        """The one value-draw loop both data planes share.
+
+        Keeping a single copy is what makes cross-plane parity
+        structural: both ``generate`` and ``generate_columns`` consume
+        exactly this entropy, in this order.
+        """
+        if count < 0:
+            raise WorkloadError(f"count must be >= 0, got {count}")
+        return [rng.gauss(self.mu, self.sigma) for _ in range(count)]
+
     def generate(
         self, count: int, rng: random.Random, emitted_at: float = 0.0
     ) -> list[StreamItem]:
         """Draw ``count`` items at the given emission time."""
-        if count < 0:
-            raise WorkloadError(f"count must be >= 0, got {count}")
         return [
-            StreamItem(
-                self.name, rng.gauss(self.mu, self.sigma), emitted_at,
-                self.item_bytes,
-            )
-            for _ in range(count)
+            StreamItem(self.name, value, emitted_at, self.item_bytes)
+            for value in self._draw_values(count, rng)
         ]
+
+    def generate_columns(
+        self, count: int, rng: random.Random, emitted_at: float = 0.0
+    ) -> ColumnarBatch:
+        """Draw ``count`` values straight into a columnar batch.
+
+        Same entropy as :meth:`generate` (they share the draw loop),
+        so seeded runs emit identical values on either data plane; no
+        :class:`StreamItem` objects are ever created.
+        """
+        return ColumnarBatch.single(
+            self.name, self._draw_values(count, rng), emitted_at,
+            self.item_bytes,
+        )
 
     @property
     def expected_value(self) -> float:
@@ -90,16 +111,33 @@ class PoissonSubstream:
             product *= rng.random()
         return float(k)
 
+    def _draw_values(self, count: int, rng: random.Random) -> list[float]:
+        """The one value-draw loop both data planes share."""
+        if count < 0:
+            raise WorkloadError(f"count must be >= 0, got {count}")
+        return [self._draw(rng) for _ in range(count)]
+
     def generate(
         self, count: int, rng: random.Random, emitted_at: float = 0.0
     ) -> list[StreamItem]:
         """Draw ``count`` items at the given emission time."""
-        if count < 0:
-            raise WorkloadError(f"count must be >= 0, got {count}")
         return [
-            StreamItem(self.name, self._draw(rng), emitted_at, self.item_bytes)
-            for _ in range(count)
+            StreamItem(self.name, value, emitted_at, self.item_bytes)
+            for value in self._draw_values(count, rng)
         ]
+
+    def generate_columns(
+        self, count: int, rng: random.Random, emitted_at: float = 0.0
+    ) -> ColumnarBatch:
+        """Draw ``count`` values straight into a columnar batch.
+
+        Same entropy as :meth:`generate` (they share the draw loop),
+        so seeded runs emit identical values on either data plane.
+        """
+        return ColumnarBatch.single(
+            self.name, self._draw_values(count, rng), emitted_at,
+            self.item_bytes,
+        )
 
     @property
     def expected_value(self) -> float:

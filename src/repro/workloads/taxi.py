@@ -23,6 +23,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from repro.core.columns import ColumnarBatch
 from repro.core.items import StreamItem
 from repro.errors import WorkloadError
 
@@ -173,18 +174,37 @@ class BoroughSubstream:
         tip = 0.0 if rng.random() < 0.45 else fare * rng.uniform(0.05, 0.30)
         return round(fare + surcharges + tip, 2)
 
+    def _draw_values(self, count: int, rng: random.Random) -> list[float]:
+        """The one fare-draw loop both data planes share."""
+        if count < 0:
+            raise WorkloadError(f"count must be >= 0, got {count}")
+        return [self._total_amount(rng) for _ in range(count)]
+
     def generate(
         self, count: int, rng: random.Random, emitted_at: float = 0.0
     ) -> list[StreamItem]:
         """Draw ``count`` ride payments for this borough."""
-        if count < 0:
-            raise WorkloadError(f"count must be >= 0, got {count}")
         return [
             StreamItem(
                 substream=f"taxi/{self.borough}",
-                value=self._total_amount(rng),
+                value=value,
                 emitted_at=emitted_at,
                 size_bytes=self.item_bytes,
             )
-            for _ in range(count)
+            for value in self._draw_values(count, rng)
         ]
+
+    def generate_columns(
+        self, count: int, rng: random.Random, emitted_at: float = 0.0
+    ) -> ColumnarBatch:
+        """Draw ``count`` ride payments straight into a columnar batch.
+
+        Same entropy as :meth:`generate` (they share the draw loop),
+        so seeded runs emit identical fares on either data plane.
+        """
+        return ColumnarBatch.single(
+            f"taxi/{self.borough}",
+            self._draw_values(count, rng),
+            emitted_at,
+            self.item_bytes,
+        )

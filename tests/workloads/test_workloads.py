@@ -4,6 +4,7 @@ import random
 
 import pytest
 
+from repro.core.items import StreamItem
 from repro.errors import WorkloadError
 from repro.workloads.pollution import (
     POLLUTANTS,
@@ -13,7 +14,11 @@ from repro.workloads.pollution import (
 )
 from repro.workloads.rates import RateSchedule, paper_rate_settings
 from repro.workloads.skew import SkewedMixture, paper_skewed_mixture
-from repro.workloads.source import Source, sources_from_schedule
+from repro.workloads.source import (
+    Source,
+    generate_columns,
+    sources_from_schedule,
+)
 from repro.workloads.synthetic import (
     GaussianSubstream,
     PoissonSubstream,
@@ -245,6 +250,88 @@ class TestSource:
         source = Source("s", gen, 0.0)
         assert source.emit_interval(0.0, 1.0) == []
 
+    def test_fractional_rate_carries_remainder(self):
+        """A 0.4 items/s source must emit ~0.4 items per second long
+        run, not zero forever (the old per-interval rounding bug)."""
+        gen = GaussianSubstream("X", 1.0, 0.0)
+        source = Source("s", gen, rate_per_second=0.4, rng=random.Random(3))
+        counts = [len(source.emit_interval(float(t), 1.0)) for t in range(10)]
+        assert sum(counts) == 4
+        assert counts[0] == 0  # nothing due yet after 0.4 items
+
+    def test_fractional_rate_long_run_matches_schedule(self):
+        gen = GaussianSubstream("X", 1.0, 0.0)
+        source = Source("s", gen, rate_per_second=7.3, rng=random.Random(4))
+        for t in range(100):
+            source.emit_interval(float(t), 1.0)
+        assert source.items_emitted == pytest.approx(730, abs=1)
+
+    def test_low_rate_statistical_run_completes(self):
+        """The motivating case end-to-end: a sub-item-per-window rate
+        runs through the statistical engine, skipping the windows the
+        schedule owes no items."""
+        from repro.system.config import PipelineConfig
+        from repro.system.statistical import StatisticalRunner
+
+        run = StatisticalRunner(
+            PipelineConfig(sampling_fraction=0.5, seed=1),
+            RateSchedule("low", {"A": 4.0}),  # 0.5 items/s per source
+            {"A": GaussianSubstream("A", 10.0, 1.0)},
+        ).run(6)
+        assert 0 < len(run.windows) <= 6
+        assert run.mean_approxiot_loss >= 0.0
+
+    def test_first_interval_still_rounds_to_nearest(self):
+        """The carry starts centered, so a 0.6 items/s source emits in
+        its very first window (no regression vs the old rounding) while
+        the long run still tracks the schedule."""
+        gen = GaussianSubstream("X", 1.0, 0.0)
+        source = Source("s", gen, rate_per_second=0.6, rng=random.Random(8))
+        counts = [len(source.emit_interval(float(t), 1.0)) for t in range(10)]
+        assert counts[0] == 1
+        assert sum(counts) == pytest.approx(6, abs=1)
+
+    def test_columnar_emission_matches_object_plane(self):
+        """Same seed -> the two planes emit identical records."""
+        gen = GaussianSubstream("X", 5.0, 2.0)
+        objects = Source("s", gen, 12.5, rng=random.Random(11))
+        columnar = Source("s", gen, 12.5, rng=random.Random(11))
+        for t in range(3):
+            expected = objects.emit_interval(float(t), 2.0)
+            batch = columnar.emit_interval_columns(float(t), 2.0)
+            assert batch.to_items() == expected
+        assert columnar.items_emitted == objects.items_emitted
+
+    def test_columnar_emission_spreads_timestamps(self):
+        gen = GaussianSubstream("X", 1.0, 0.0)
+        source = Source("s", gen, 10.0, rng=random.Random(10))
+        batch = source.emit_interval_columns(5.0, 1.0)
+        times = list(batch.timestamps)
+        assert all(5.0 < t < 6.0 for t in times)
+        assert times == sorted(times)
+
+    def test_columnar_zero_rate_emits_empty_batch(self):
+        gen = GaussianSubstream("X", 1.0, 0.0)
+        source = Source("s", gen, 0.0)
+        assert len(source.emit_interval_columns(0.0, 1.0)) == 0
+
+    def test_generate_columns_fallback_for_plain_generators(self):
+        """Generators without a native columnar path transpose their
+        object batch at the seam."""
+
+        class PlainGenerator:
+            def generate(self, count, rng, emitted_at=0.0):
+                return [
+                    StreamItem("P", float(i), emitted_at) for i in range(count)
+                ]
+
+        batch = generate_columns(PlainGenerator(), 3, random.Random(0), 1.0)
+        assert batch.to_items() == [
+            StreamItem("P", 0.0, 1.0),
+            StreamItem("P", 1.0, 1.0),
+            StreamItem("P", 2.0, 1.0),
+        ]
+
     def test_sources_from_schedule(self):
         schedule = RateSchedule("s", {"A": 10.0, "B": 20.0})
         gens = {"A": GaussianSubstream("A", 1.0, 0.0),
@@ -266,3 +353,36 @@ class TestSource:
         source = Source("s", gen, 1.0)
         with pytest.raises(WorkloadError):
             source.emit_interval(0.0, 0.0)
+
+
+class TestGeneratorColumnParity:
+    """Every generator's columnar path emits the object path's records."""
+
+    @pytest.mark.parametrize(
+        "generator",
+        [
+            GaussianSubstream("A", 10.0, 5.0),
+            PoissonSubstream("B", 100.0),
+            BoroughSubstream("brooklyn"),
+            paper_skewed_mixture(),
+        ],
+        ids=["gaussian", "poisson", "taxi", "skewed-mixture"],
+    )
+    def test_columns_match_objects(self, generator):
+        expected = generator.generate(40, random.Random(21), 3.0)
+        batch = generator.generate_columns(40, random.Random(21), 3.0)
+        assert batch.to_items() == expected
+
+    def test_pollution_columns_match_objects(self):
+        """AR(1) state advances identically on either plane."""
+        objects_gen = PollutantSubstream("pm")
+        columns_gen = PollutantSubstream("pm")
+        expected = objects_gen.generate(25, random.Random(5), 1.0)
+        batch = columns_gen.generate_columns(25, random.Random(5), 1.0)
+        assert batch.to_items() == expected
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(WorkloadError):
+            GaussianSubstream("A", 1.0, 0.0).generate_columns(
+                -1, random.Random(0)
+            )
