@@ -18,6 +18,15 @@ Two assertions gate regressions:
 
 and the two planes' seeded mean accuracy losses must agree (same
 records sampled → same estimates).
+
+The module also publishes the worker-scaling table for sharded
+multi-process execution (1/2/4/8 shards over the columnar plane on the
+same workload). Throughput gates are host-aware — a single-core runner
+cannot speed up by adding processes, so the sharded >= 0.9x
+single-process smoke applies from 2 cores and the >= 2.5x-at-4-workers
+headline from 4 — while the accuracy gate (mean loss within the
+reported §III-D error bound, which Eq. 8's exact count recovery keeps
+tight) applies everywhere, at every worker count.
 """
 
 from __future__ import annotations
@@ -39,6 +48,9 @@ FRACTION = 0.1
 #: Timing repetitions; the best run is reported so allocator noise and
 #: first-call warmup do not flake the quick-scale CI assertion.
 REPEATS = 3
+
+#: Shard widths of the published worker-scaling table.
+WORKER_COUNTS = (1, 2, 4, 8)
 
 
 @dataclass(frozen=True, slots=True)
@@ -108,11 +120,92 @@ def render_table(points: list[PlanePoint]) -> str:
 
 
 def main(scale: ExperimentScale | None = None) -> str:
-    """Print the engine-throughput table; return the text."""
+    """Print the engine-throughput and worker-scaling tables."""
     scale = scale if scale is not None else ExperimentScale.bench()
     text = render_table(run_engine_bench(scale))
+    text += "\n\n" + render_scaling_table(run_worker_scaling(scale))
     print(text)
     return text
+
+
+@dataclass(frozen=True, slots=True)
+class ScalingPoint:
+    """Measured behaviour of one worker-shard width."""
+
+    workers: int
+    items_per_second: float
+    mean_loss_percent: float
+    mean_bound_percent: float
+
+
+def _measure_workers(workers: int, scale: ExperimentScale) -> ScalingPoint:
+    generators = {g.name: g for g in paper_gaussian_substreams()}
+    schedule = uniform_schedule(scale.rate_scale)
+    config = PipelineConfig(
+        sampling_fraction=FRACTION,
+        seed=scale.seed,
+        backend="auto",
+        transport="inprocess",
+        data_plane="columnar",
+        workers=workers,
+    )
+    best = 0.0
+    loss = bound = 0.0
+    # One persistent runner: shard processes fork once and stay up, so
+    # the timed region measures steady-state sampling throughput — the
+    # regime the scaling claim is about — not process startup. The
+    # warmup window pays the fork + per-shard pipeline build (and
+    # first-call numpy warmup) before the clock starts, and each timed
+    # run covers enough windows that the one request/collect IPC round
+    # trip per run amortizes (at quick scale, 3 windows of work are
+    # smaller than a pipe round trip — that would gate IPC latency,
+    # not scaling).
+    windows = max(scale.windows, 10)
+    with StatisticalRunner(config, schedule, generators) as runner:
+        runner.run(1)  # warmup
+        for _ in range(REPEATS):
+            start = time.perf_counter()
+            run = runner.run(windows)
+            elapsed = time.perf_counter() - start
+            items = sum(window.items_emitted for window in run.windows)
+            best = max(best, items / elapsed)
+            loss = run.mean_approxiot_loss
+            bound = (
+                100.0
+                * sum(
+                    window.approx_sum.error / abs(window.approx_sum.value)
+                    for window in run.windows
+                )
+                / len(run.windows)
+            )
+    return ScalingPoint(workers, best, loss, bound)
+
+
+def run_worker_scaling(scale: ExperimentScale) -> list[ScalingPoint]:
+    """Throughput and accuracy of the sharded engine per shard width."""
+    return [_measure_workers(workers, scale) for workers in WORKER_COUNTS]
+
+
+def render_scaling_table(points: list[ScalingPoint]) -> str:
+    """The paper-style worker-scaling table for one measured sweep."""
+    cores = os.cpu_count() or 1
+    table = Table(
+        "Worker scaling: sharded engine, columnar plane (Fig. 6 "
+        "workload, 10% fraction)",
+        ["workers", "host cores", "items/s", "speedup", "mean loss",
+         "error bound"],
+    )
+    baseline = points[0].items_per_second
+    for point in points:
+        table.add_row(
+            str(point.workers),
+            str(cores),
+            format_rate(point.items_per_second),
+            f"{point.items_per_second / baseline:.2f}x",
+            f"{point.mean_loss_percent:.3f}%",
+            f"{point.mean_bound_percent:.3f}%",
+        )
+    return table.render()
 
 
 def test_bench_engine(benchmark, bench_scale, results_sink):
@@ -142,3 +235,40 @@ def test_bench_engine(benchmark, bench_scale, results_sink):
         if at_bench and backend == "numpy":
             # The headline claim: ≥ 3x end-to-end at Fig. 6 scale.
             assert columnar.items_per_second >= 3.0 * objects.items_per_second
+
+
+def test_bench_worker_scaling(benchmark, bench_scale, results_sink):
+    """Sharded execution scales with cores and never loses accuracy.
+
+    One measured sweep feeds the published table and the gates:
+
+    * accuracy, every width: Eq. 8 holds per shard, so the merged
+      estimate's mean loss must sit within the run's own reported
+      §III-D error bound — a sharding bug that broke weight or count
+      propagation would blow straight through it;
+    * throughput, host-aware: with >= 2 cores the 2-shard run must
+      hold >= 0.9x the single-process rate (the CI smoke gate), and a
+      bench-scale run on >= 4 cores must reach >= 2.5x at 4 shards.
+    """
+    points = benchmark.pedantic(
+        run_worker_scaling, args=(bench_scale,), rounds=1, iterations=1
+    )
+    text = render_scaling_table(points)
+    print(text)
+    results_sink(text)
+
+    by_width = {point.workers: point for point in points}
+    for point in points:
+        assert point.mean_loss_percent <= point.mean_bound_percent
+    cores = os.cpu_count() or 1
+    at_bench = os.environ.get("REPRO_BENCH_SCALE", "bench") == "bench"
+    if cores >= 2:
+        assert (
+            by_width[2].items_per_second
+            >= 0.9 * by_width[1].items_per_second
+        )
+    if at_bench and cores >= 4:
+        assert (
+            by_width[4].items_per_second
+            >= 2.5 * by_width[1].items_per_second
+        )

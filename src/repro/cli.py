@@ -3,9 +3,10 @@
 Commands:
 
 * ``figures [ids...] [--scale quick|bench] [--backend ...]
-  [--transport ...] [--data-plane ...]`` — regenerate the paper's
-  evaluation figures as text tables (all of them by default) on the
-  selected sampling backend, inter-node transport and data plane.
+  [--transport ...] [--data-plane ...] [--workers N]`` — regenerate
+  the paper's evaluation figures as text tables (all of them by
+  default) on the selected sampling backend, inter-node transport,
+  data plane and worker-shard count.
 * ``list`` — list the available figures with descriptions.
 * ``info`` — print the library version and subsystem inventory.
 """
@@ -89,6 +90,15 @@ def build_parser() -> argparse.ArgumentParser:
              "columnar moves structure-of-arrays batches end-to-end "
              "with identical seeded samples)",
     )
+    figures.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="process-parallel worker shards for the statistical "
+             "(accuracy) figures; deployment figures model distribution "
+             "via simnet and ignore it (default: 1)",
+    )
 
     subparsers.add_parser("list", help="list available figures")
     subparsers.add_parser("info", help="print version and inventory")
@@ -97,14 +107,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_figures(
     ids: list[str], scale_name: str, backend: str, transport: str,
-    data_plane: str,
+    data_plane: str, workers: int,
 ) -> int:
-    scale = replace(
-        _SCALES[scale_name](),
-        backend=backend,
-        transport=transport,
-        data_plane=data_plane,
-    )
+    try:
+        scale = replace(
+            _SCALES[scale_name](),
+            backend=backend,
+            transport=transport,
+            data_plane=data_plane,
+            workers=workers,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     targets = ids or sorted(FIGURES)
     for figure_id in targets:
         try:
@@ -139,7 +154,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.command == "figures":
             return _cmd_figures(
                 args.ids, args.scale, args.backend, args.transport,
-                args.data_plane,
+                args.data_plane, args.workers,
             )
         if args.command == "list":
             return _cmd_list()

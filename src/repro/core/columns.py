@@ -43,6 +43,7 @@ except ImportError:  # pragma: no cover
     _np = None
 
 __all__ = [
+    "ColumnBuffer",
     "ColumnarBatch",
     "concat_value_chunks",
     "group_payload",
@@ -68,6 +69,54 @@ def _empty_column():
     if _np is not None:
         return _np.empty(0, dtype=_np.float64)
     return array("d")
+
+
+class ColumnBuffer:
+    """A preallocated, reusable staging buffer for value draws.
+
+    Workload generators draw one value per record; materializing each
+    window's draws as a fresh Python list allocates a count-sized list
+    (plus the conversion into a column) every single window. A
+    ``ColumnBuffer`` amortizes that churn: each generator keeps one
+    buffer, grown high-water-mark style and reused across windows —
+    draws land directly in preallocated float storage via
+    :meth:`writable`, and :meth:`column` copies the filled prefix out
+    as a fresh, independently-owned column (one ``memcpy``-class op).
+
+    The copy-out is what makes reuse safe: emitted batches never alias
+    the staging storage, so overwriting the buffer next window cannot
+    corrupt a batch already travelling through the tree. Callers must
+    not retain the :meth:`writable` view across windows (the buffer
+    cannot grow while a view is exported).
+    """
+
+    __slots__ = ("_buffer",)
+
+    def __init__(self) -> None:
+        self._buffer = array("d")
+
+    @property
+    def capacity(self) -> int:
+        """Preallocated slots (the high-water mark of past windows)."""
+        return len(self._buffer)
+
+    def writable(self, count: int) -> memoryview:
+        """A writable float view over the first ``count`` staging slots."""
+        if count < 0:
+            raise SamplingError(f"count must be >= 0, got {count}")
+        buffer = self._buffer
+        if len(buffer) < count:
+            buffer.frombytes(bytes(buffer.itemsize * (count - len(buffer))))
+        return memoryview(buffer)[:count]
+
+    def column(self, count: int):
+        """The first ``count`` staged values as a fresh, owned column."""
+        view = memoryview(self._buffer)[:count]
+        if _np is not None:
+            return _np.array(view, dtype=_np.float64)
+        out = array("d")
+        out.frombytes(view.tobytes())
+        return out
 
 
 def _take(column, indices: Sequence[int]):
@@ -308,7 +357,9 @@ class ColumnarBatch:
 
         The columnar ``Update`` step (Algorithm 1, line 5): uniform
         batches — the common case — return themselves without touching
-        a single record.
+        a single record. Grouped chunks carry the *uniform* stratum
+        tag (not a per-record list of identical strings), so they
+        re-enter every single-stratum fast path downstream.
         """
         if len(self) == 0:
             return {}
@@ -318,7 +369,14 @@ class ColumnarBatch:
         for index, substream in enumerate(self.substreams):
             groups.setdefault(substream, []).append(index)
         return {
-            substream: self.select(indices)
+            substream: ColumnarBatch(
+                substream,
+                _take(self.values, indices),
+                _take(self.timestamps, indices),
+                self.sizes
+                if isinstance(self.sizes, int)
+                else [self.sizes[i] for i in indices],
+            )
             for substream, indices in groups.items()
         }
 

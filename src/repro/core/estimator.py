@@ -74,6 +74,18 @@ class ThetaStore:
         for batch in batches:
             self.add(batch)
 
+    def merge(self, other: "ThetaStore") -> None:
+        """Fold another store's pairs into this one (sharded root merge).
+
+        Theta is mergeable by construction: it is a bag of ``(W_out,
+        I)`` pairs and every estimator below is a sum over pairs, so
+        the root of a sharded run simply extends its store with each
+        worker shard's pairs — Eq. 8 holds per pair, hence for the
+        union, and the merged estimates are exactly what a single
+        process holding all pairs would compute.
+        """
+        self._batches.extend(other._batches)
+
     def clear(self) -> None:
         """Drop the stored pairs after the query consumed them."""
         self._batches.clear()

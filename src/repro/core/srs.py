@@ -93,6 +93,25 @@ class CoinFlipSampler(Generic[T]):
         self._kept += sum(mask)
         return mask
 
+    def merge_counters(self, other: "CoinFlipSampler") -> None:
+        """Absorb another sampler's counters (sharded execution merge).
+
+        Coin-flip sampling is trivially mergeable: each record's
+        keep/drop decision is independent, so the union of per-shard
+        SRS samples is an SRS sample of the union and the root-side
+        state to combine is just the arrival/kept counters. Both
+        samplers must share the keep probability (otherwise the merged
+        Horvitz-Thompson weight ``1 / fraction`` would be wrong for
+        one side's records).
+        """
+        if other._fraction != self._fraction:
+            raise SamplingError(
+                f"cannot merge coin-flip samplers with different fractions "
+                f"({self._fraction} vs {other._fraction})"
+            )
+        self._seen += other._seen
+        self._kept += other._kept
+
     def reset_counters(self) -> None:
         """Zero the seen/kept counters (keep probability unchanged)."""
         self._seen = 0

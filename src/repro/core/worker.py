@@ -17,6 +17,7 @@ from __future__ import annotations
 import random
 from typing import Callable, Iterable, Mapping, Sequence
 
+from repro.core.columns import ColumnarBatch
 from repro.core.fastpath import (
     BACKEND_PYTHON,
     make_reservoir_sampler,
@@ -65,6 +66,27 @@ class SubstreamWorker:
                 f"worker for {self.substream!r} got item of {item.substream!r}"
             )
         self._sampler.offer(item)
+
+    def offer_chunk(self, chunk: ColumnarBatch) -> None:
+        """Route this worker's slice of a columnar batch in one call.
+
+        The chunk's records enter the reservoir in slice order — the
+        order per-item round-robin delivery would have produced — so
+        a seeded flush is identical either way. On the vectorized
+        backend the replacement *draws* for the whole chunk happen in
+        one call; the records themselves are still materialized as
+        :class:`StreamItem` objects at reservoir ingestion (the
+        reservoir stores items), so the batched path removes the
+        per-record routing dispatch, not the per-record object. A
+        fully columnar worker reservoir (indices over accumulated
+        chunks, survivors converted at flush) is the remaining step.
+        """
+        tag = chunk.uniform_substream
+        if tag is not None and tag != self.substream:
+            raise SamplingError(
+                f"worker for {self.substream!r} got a chunk of {tag!r}"
+            )
+        self._sampler.extend(chunk.to_items())
 
     def flush(self, input_weight: float) -> WeightedBatch:
         """Close the interval: emit this worker's weighted batch.
@@ -139,6 +161,55 @@ class WorkerPool:
         for item in items:
             self.offer(item)
 
+    def offer_columns(self, batch: ColumnarBatch) -> None:
+        """Shard a whole columnar batch by index slicing (batched).
+
+        Round-robin assignment is a pure function of position: with
+        the cursor at ``t``, record ``i`` belongs to worker
+        ``(t + i) % w`` — so worker ``j``'s share is the index slice
+        ``(j - t) % w, (j - t) % w + w, ...``, gathered with one
+        column ``select`` per worker instead of a Python dispatch per
+        record. Each worker receives exactly the records, in exactly
+        the order, per-item :meth:`offer` would have routed to it, so
+        seeded flushes are identical on either path; the batched path
+        replaces ``n`` modulo steps with ``w`` slices and lets the
+        vectorized reservoir backend ingest each slice in one call.
+
+        The batch must be single-stratum (stratify mixed payloads
+        with ``group_by_substream`` first), matching the pool's
+        single sub-stream.
+        """
+        n = len(batch)
+        if n == 0:
+            return
+        tag = batch.uniform_substream
+        if tag is None:
+            # Single-stratum batches tagged per record (e.g. built by
+            # hand) are as valid as uniform-tagged ones — normalize so
+            # both routing paths accept exactly the same records.
+            tags = set(batch.substream_ids())
+            if tags == {self.substream}:
+                batch = ColumnarBatch(
+                    self.substream, batch.values, batch.timestamps,
+                    batch.sizes,
+                )
+            else:
+                raise SamplingError(
+                    f"pool for {self.substream!r} got a mixed batch of "
+                    f"{sorted(tags)}; group by sub-stream before offering"
+                )
+        elif tag != self.substream:
+            raise SamplingError(
+                f"pool for {self.substream!r} got a batch of {tag!r}"
+            )
+        w = len(self._workers)
+        for j, worker in enumerate(self._workers):
+            start = (j - self._next) % w
+            if start >= n:
+                continue
+            worker.offer_chunk(batch.select(range(start, n, w)))
+        self._next = (self._next + n) % w
+
     def flush(self, input_weight: float) -> list[WeightedBatch]:
         """Close the interval on all workers and collect their batches."""
         self._next = 0
@@ -198,20 +269,34 @@ class ParallelSamplingNode:
         """Record weight metadata received from downstream nodes."""
         self._weights.merge(weights)
 
+    def _pool(self, substream: str) -> WorkerPool:
+        pool = self._pools.get(substream)
+        if pool is None:
+            pool = WorkerPool(
+                substream,
+                self._capacity,
+                self._worker_count,
+                rng=random.Random(self._rng.getrandbits(64)),
+                backend=self._backend,
+            )
+            self._pools[substream] = pool
+        return pool
+
     def receive_raw(self, items: Iterable[StreamItem]) -> None:
         """Shard arriving items into their sub-stream's worker pool."""
         for item in items:
-            pool = self._pools.get(item.substream)
-            if pool is None:
-                pool = WorkerPool(
-                    item.substream,
-                    self._capacity,
-                    self._worker_count,
-                    rng=random.Random(self._rng.getrandbits(64)),
-                    backend=self._backend,
-                )
-                self._pools[item.substream] = pool
-            pool.offer(item)
+            self._pool(item.substream).offer(item)
+
+    def receive_columns(self, batch: ColumnarBatch) -> None:
+        """Shard a columnar batch: stratify, then index-sliced routing.
+
+        The columnar twin of :meth:`receive_raw` — each stratum's
+        chunk reaches its pool through
+        :meth:`WorkerPool.offer_columns`, so routing is a handful of
+        column slices per stratum instead of a per-record loop.
+        """
+        for substream, chunk in batch.group_by_substream().items():
+            self._pool(substream).offer_columns(chunk)
 
     def close_interval(self) -> list[WeightedBatch]:
         """Flush every pool; forward and return all worker batches."""

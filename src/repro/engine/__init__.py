@@ -9,6 +9,10 @@ The engine separates *what a run is* from *how it executes*:
   in-process callbacks, broker topics, or simnet-backed broker links.
 * :mod:`repro.engine.runner` is the single windowed run loop with the
   paper's three strategies (approxiot / srs / native).
+* :mod:`repro.engine.sharding` scales that loop across cores: a shard
+  planner splits the rates into equal per-worker shares, each shard
+  runs the loop in its own OS process, and per-shard Theta state is
+  merged at the root (§III-E made physical).
 
 The public runners in :mod:`repro.system` are thin facades over this
 package: the :class:`~repro.system.statistical.StatisticalRunner`
@@ -26,6 +30,7 @@ from repro.engine.runner import (
     accuracy_loss,
     sample_interval,
 )
+from repro.engine.sharding import ShardPlan, ShardedEngineRunner, plan_shards
 from repro.engine.transport import (
     BrokerTransport,
     InProcessTransport,
@@ -42,12 +47,15 @@ __all__ = [
     "InProcessTransport",
     "Pipeline",
     "RunOutcome",
+    "ShardPlan",
+    "ShardedEngineRunner",
     "SimnetBrokerTransport",
     "Transport",
     "WindowOutcome",
     "accuracy_loss",
     "build_pipeline",
     "make_statistical_transport",
+    "plan_shards",
     "sample_interval",
     "topic_for",
 ]

@@ -177,12 +177,27 @@ class EngineRunner:
         rate accumulator owes such sources an empty interval every so
         often. Time still advances past the empty window.
         """
+        outcome, _theta = self.run_window_with_theta()
+        return outcome
+
+    def run_window_with_theta(
+        self,
+    ) -> tuple[WindowOutcome | None, ThetaStore | None]:
+        """One window's outcome plus the root's Theta store behind it.
+
+        The sharded engine runs this loop per worker shard and needs
+        the window's ``(W_out, I)`` pairs — not just the shard-local
+        estimate — so the root can merge Theta across shards and
+        estimate once over the union. :meth:`run_window` is this with
+        the store dropped; both advance window time identically, so a
+        single-shard run is bit-for-bit the in-process run.
+        """
         window_start = self._windows_run * self._pipeline.config.window_seconds
         emitted = self._pipeline.emit_window(window_start)
         items_emitted = sum(len(batch) for batch in emitted.values())
         if items_emitted == 0:
             self._windows_run += 1
-            return None
+            return None, None
 
         # The ground truth is the native strategy's answer, computed
         # directly: forwarding everything through the transport would
@@ -196,7 +211,7 @@ class EngineRunner:
         approx = self.run_approxiot(emitted)
         srs_sum = self.run_srs(emitted)
         self._windows_run += 1
-        return WindowOutcome(
+        outcome = WindowOutcome(
             window_index=self._windows_run,
             exact_sum=exact_sum,
             approx_sum=approx.approx,
@@ -204,6 +219,7 @@ class EngineRunner:
             items_emitted=items_emitted,
             items_sampled=approx.sampled,
         )
+        return outcome, approx.theta
 
     def run(self, windows: int) -> RunOutcome:
         """Run several windows and collect the outcomes.

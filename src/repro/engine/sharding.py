@@ -1,0 +1,404 @@
+"""Sharded multi-core execution: process-parallel worker shards (§III-E).
+
+The paper argues a sub-stream can be handled by ``w`` coordination-free
+workers: each samples an equal portion of the items with a
+proportionally smaller reservoir, and the per-worker ``(W_out, I)``
+pairs are simply concatenated upstream — Eq. 8 holds per worker, hence
+for the union. :mod:`repro.core.worker` models that statistically
+inside one process; this module makes it *physical*: the windowed
+engine loop runs in ``N`` OS processes at once, each over an equal
+share of every sub-stream, and the root merges per-shard Theta state
+before estimating.
+
+How a sharded run decomposes:
+
+* :func:`plan_shards` splits the rate schedule into ``N`` equal
+  per-shard schedules (``RateSchedule.split``) and derives one shard
+  seed per worker from the run seed, so a fixed ``(seed, workers)``
+  pair fully determines every shard's entropy. A one-worker plan *is*
+  the original run — same seed, same schedule — which is what makes
+  ``workers=1`` sharded execution bit-for-bit the in-process engine.
+* Each shard builds its own full :class:`~repro.engine.pipeline.Pipeline`
+  (every tree node, budgets sized from the shard's share of the rates)
+  and drives an :class:`~repro.engine.runner.EngineRunner` over the
+  same window schedule. Shards never communicate: the §III-E
+  assumption is exactly that workers need no coordination.
+* Per window, a shard ships back its window outcome fields plus its
+  root Theta contribution encoded with the compact binary batch codec
+  (:func:`~repro.broker.records.encode_weighted_batches`) — whole
+  column buffers cross the process boundary, never a pickle graph of
+  per-record objects.
+* The parent merges positionally: exact sums, SRS Horvitz-Thompson
+  estimates and item counts add across shards; Theta batches
+  concatenate in shard order into one
+  :class:`~repro.core.estimator.ThetaStore` (weights untouched — Eq. 2
+  was applied per shard against per-shard reservoir sizes, and
+  rescaling them would break the Eq. 8 count recovery); the root
+  estimate with error bounds is computed once over the union.
+
+Shard processes are persistent: they spawn on first use, keep their
+window clock and rng streams across :meth:`ShardedEngineRunner.run`
+calls (so ``run(2); run(3)`` equals ``run(5)``), and exit on
+:meth:`~ShardedEngineRunner.close`. The start method prefers ``fork``
+(cheap, Linux default) and falls back to ``spawn``; results are
+identical under either — and under ``inline=True``, which runs the
+shards sequentially in-process for debugging and for parity tests —
+because every shard rebuilds its state from the plan alone (the
+caller's generators are deep-copied per shard, never mutated).
+"""
+
+from __future__ import annotations
+
+import copy
+import multiprocessing
+import random
+import traceback
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+from repro.broker.records import decode_weighted_batches, encode_weighted_batches
+from repro.core.error_bounds import estimate_sum_with_error
+from repro.core.estimator import ThetaStore
+from repro.engine.pipeline import build_pipeline
+from repro.engine.runner import EngineRunner, RunOutcome, WindowOutcome
+from repro.engine.transport import make_statistical_transport
+from repro.errors import ConfigurationError, PipelineError
+from repro.workloads.rates import RateSchedule
+
+if TYPE_CHECKING:
+    from repro.system.config import PipelineConfig
+    from repro.workloads.source import ItemGenerator
+
+__all__ = ["ShardPlan", "ShardedEngineRunner", "plan_shards"]
+
+
+@dataclass(frozen=True, slots=True)
+class ShardPlan:
+    """One worker shard's share of a run.
+
+    Attributes:
+        index: Shard position (0-based); merge order follows it.
+        workers: Total shard count of the plan this shard belongs to.
+        seed: The shard's derived seed — drives its pipeline rng and,
+            through it, every source rng and sampling decision.
+        schedule: The shard's share of the arrival rates (every
+            sub-stream at ``rate / workers``).
+    """
+
+    index: int
+    workers: int
+    seed: int
+    schedule: RateSchedule
+
+
+def plan_shards(
+    config: "PipelineConfig", schedule: RateSchedule
+) -> list[ShardPlan]:
+    """Partition a run into ``config.workers`` deterministic shards.
+
+    Shard seeds are drawn from ``random.Random(config.seed)`` in shard
+    order, so the full plan is a pure function of ``(seed, workers)``
+    — the determinism contract of sharded execution. The single-shard
+    plan keeps the run seed itself (not a derived one): a one-worker
+    sharded run is *defined* as the in-process run, bit for bit.
+    """
+    workers = config.workers
+    if workers == 1:
+        return [ShardPlan(0, 1, config.seed, schedule)]
+    seed_rng = random.Random(config.seed)
+    seeds = [seed_rng.getrandbits(64) for _ in range(workers)]
+    return [
+        ShardPlan(index, workers, seeds[index], shard_schedule)
+        for index, shard_schedule in enumerate(schedule.split(workers))
+    ]
+
+
+#: One window slot's result as it crosses the process boundary:
+#: ``(items_emitted, exact_sum, srs_sum, items_sampled, theta_blob)``
+#: with ``theta_blob`` the codec-encoded Theta batches (``None`` for an
+#: empty window). Plain tuple of primitives + bytes on purpose — the
+#: pipe never pickles a record object.
+_SlotResult = tuple[int, float, float, int, "bytes | None"]
+
+
+class _ShardState:
+    """A shard's private engine, rebuilt identically anywhere it runs."""
+
+    def __init__(
+        self,
+        plan: ShardPlan,
+        config: "PipelineConfig",
+        generators: "dict[str, ItemGenerator]",
+    ) -> None:
+        shard_config = replace(config, seed=plan.seed, workers=1)
+        # Deep-copied so stateful generators (AR(1) levels, staging
+        # buffers) evolve per shard and the caller's objects are never
+        # mutated — inline and multi-process execution then agree.
+        pipeline = build_pipeline(
+            shard_config, plan.schedule, copy.deepcopy(generators)
+        )
+        self._runner = EngineRunner(
+            pipeline, make_statistical_transport(config.transport)
+        )
+
+    def run_slots(self, windows: int) -> list[_SlotResult]:
+        """Advance the shard through ``windows`` window slots."""
+        results: list[_SlotResult] = []
+        for _ in range(windows):
+            outcome, theta = self._runner.run_window_with_theta()
+            if outcome is None:
+                results.append((0, 0.0, 0.0, 0, None))
+            else:
+                results.append(
+                    (
+                        outcome.items_emitted,
+                        outcome.exact_sum,
+                        outcome.srs_sum,
+                        outcome.items_sampled,
+                        encode_weighted_batches(theta.batches),
+                    )
+                )
+        return results
+
+
+def _shard_main(conn, plan, config, generators) -> None:
+    """Entry point of one shard process: serve run requests until close."""
+    try:
+        state = _ShardState(plan, config, generators)
+    except BaseException:  # noqa: BLE001 - must cross the pipe
+        conn.send(("error", traceback.format_exc()))
+        conn.close()
+        return
+    while True:
+        message = conn.recv()
+        if message[0] == "close":
+            break
+        try:
+            conn.send(("ok", state.run_slots(message[1])))
+        except BaseException:  # noqa: BLE001 - must cross the pipe
+            conn.send(("error", traceback.format_exc()))
+            break
+    conn.close()
+
+
+class _ProcessShard:
+    """Parent-side handle to one persistent shard process."""
+
+    def __init__(self, context, plan, config, generators) -> None:
+        self.index = plan.index
+        self._conn, child = context.Pipe(duplex=True)
+        self._process = context.Process(
+            target=_shard_main,
+            args=(child, plan, config, generators),
+            name=f"repro-shard-{plan.index}",
+            daemon=True,
+        )
+        self._process.start()
+        child.close()
+
+    def request(self, windows: int) -> None:
+        try:
+            self._conn.send(("run", windows))
+        except (BrokenPipeError, OSError):
+            raise PipelineError(
+                f"worker shard {self.index} is gone (did a previous "
+                f"window fail?); create a fresh runner"
+            ) from None
+
+    def collect(self) -> list[_SlotResult]:
+        try:
+            status, payload = self._conn.recv()
+        except EOFError:
+            raise PipelineError(
+                f"worker shard {self.index} died without a result"
+            ) from None
+        if status != "ok":
+            raise PipelineError(
+                f"worker shard {self.index} failed:\n{payload}"
+            )
+        return payload
+
+    def close(self) -> None:
+        try:
+            self._conn.send(("close",))
+        except (BrokenPipeError, OSError):
+            pass
+        self._conn.close()
+        self._process.join(timeout=5.0)
+        if self._process.is_alive():  # pragma: no cover - defensive
+            self._process.terminate()
+            self._process.join(timeout=5.0)
+
+
+class _InlineShard:
+    """Same protocol as :class:`_ProcessShard`, run in the caller."""
+
+    def __init__(self, plan, config, generators) -> None:
+        self.index = plan.index
+        self._state = _ShardState(plan, config, generators)
+        self._pending: list[_SlotResult] | None = None
+
+    def request(self, windows: int) -> None:
+        self._pending = self._state.run_slots(windows)
+
+    def collect(self) -> list[_SlotResult]:
+        assert self._pending is not None
+        pending, self._pending = self._pending, None
+        return pending
+
+    def close(self) -> None:
+        self._pending = None
+
+
+def _mp_context():
+    """The cheapest start method available (fork where the OS has it)."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+class ShardedEngineRunner:
+    """Drives ``config.workers`` engine shards and merges at the root.
+
+    A drop-in for :class:`~repro.engine.runner.EngineRunner`'s
+    ``run``/``run_window`` surface. Shard processes start lazily on
+    the first window and persist across calls; call :meth:`close`
+    (or use the runner as a context manager) to reap them — they are
+    daemons, so an unclosed runner still cannot outlive the parent.
+
+    ``inline=True`` executes the same shard states sequentially in
+    the calling process: identical results (the plan alone determines
+    each shard's entropy), no parallelism — the debugging and
+    parity-testing mode.
+    """
+
+    def __init__(
+        self,
+        config: "PipelineConfig",
+        schedule: RateSchedule,
+        generators: "dict[str, ItemGenerator]",
+        *,
+        inline: bool = False,
+    ) -> None:
+        if config.transport == "simnet":
+            raise ConfigurationError(
+                "sharded execution drives the statistical engine; the "
+                "'simnet' transport requires the deployment simulator"
+            )
+        self._config = config
+        self._plans = plan_shards(config, schedule)
+        self._inline = inline or config.workers == 1
+        self._schedule = schedule
+        self._generators = generators
+        self._shards: "list[_ProcessShard | _InlineShard] | None" = None
+        self._windows_run = 0
+        self._failed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        """Number of worker shards this runner drives."""
+        return len(self._plans)
+
+    def _ensure_shards(self) -> "list[_ProcessShard | _InlineShard]":
+        if self._failed:
+            raise PipelineError(
+                "this sharded runner failed a previous round and its "
+                "shard clocks are desynchronized; create a fresh runner"
+            )
+        if self._shards is None:
+            if self._inline:
+                self._shards = [
+                    _InlineShard(plan, self._config, self._generators)
+                    for plan in self._plans
+                ]
+            else:
+                context = _mp_context()
+                self._shards = [
+                    _ProcessShard(context, plan, self._config, self._generators)
+                    for plan in self._plans
+                ]
+        return self._shards
+
+    def close(self) -> None:
+        """Stop the shard processes (idempotent)."""
+        if self._shards is not None:
+            for shard in self._shards:
+                shard.close()
+            self._shards = None
+
+    def __enter__(self) -> "ShardedEngineRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _run_slots(self, windows: int) -> list[WindowOutcome | None]:
+        shards = self._ensure_shards()
+        try:
+            for shard in shards:  # all shards compute concurrently...
+                shard.request(windows)
+            per_shard = [shard.collect() for shard in shards]  # ...then sync
+        except PipelineError:
+            # A failed round leaves shard clocks desynchronized (some
+            # shards advanced, some died mid-window): reap everything
+            # and refuse reuse, so a retry fails loudly instead of
+            # merging skewed state or silently restarting from scratch.
+            self._failed = True
+            self.close()
+            raise
+        return [
+            self._merge_slot([results[slot] for results in per_shard])
+            for slot in range(windows)
+        ]
+
+    def _merge_slot(
+        self, slot_results: list[_SlotResult]
+    ) -> WindowOutcome | None:
+        """Combine one window slot's per-shard results at the root."""
+        self._windows_run += 1
+        items_emitted = sum(result[0] for result in slot_results)
+        if items_emitted == 0:
+            return None
+        theta = ThetaStore()
+        for result in slot_results:  # shard order == plan order
+            if result[4] is not None:
+                theta.extend(decode_weighted_batches(result[4]))
+        approx = estimate_sum_with_error(theta, self._config.confidence)
+        return WindowOutcome(
+            window_index=self._windows_run,
+            exact_sum=sum(result[1] for result in slot_results),
+            approx_sum=approx,
+            srs_sum=sum(result[2] for result in slot_results),
+            items_emitted=items_emitted,
+            items_sampled=sum(result[3] for result in slot_results),
+        )
+
+    def run_window(self) -> WindowOutcome | None:
+        """Run one window across all shards; ``None`` if nothing emitted."""
+        return self._run_slots(1)[0]
+
+    def run(self, windows: int) -> RunOutcome:
+        """Run several windows and collect the merged outcomes.
+
+        Same contract as :meth:`EngineRunner.run`: empty windows
+        contribute no outcome, and an entirely-empty run raises.
+        """
+        if windows <= 0:
+            raise PipelineError(f"window count must be >= 1, got {windows}")
+        outcome = RunOutcome()
+        for window in self._run_slots(windows):
+            if window is not None:
+                outcome.windows.append(window)
+        if not outcome.windows:
+            raise PipelineError(
+                "sources emitted no items in any window of the run; "
+                "increase the source rates or the window size"
+            )
+        return outcome

@@ -37,7 +37,7 @@ from typing import Callable, Protocol
 
 from repro.broker.broker import Broker
 from repro.broker.consumer import Consumer
-from repro.broker.records import Record
+from repro.broker.records import Record, Serde
 from repro.core.items import WeightedBatch
 from repro.errors import ConfigurationError
 
@@ -114,6 +114,16 @@ class BrokerTransport:
     ``ingest-X`` through consumer group ``group-X``. Records carry the
     batch's sub-stream as key and the transport clock's time as
     timestamp.
+
+    ``serde`` selects how a batch lands in the topic: ``None`` (the
+    in-process default) stores the live object by reference, while a
+    :class:`~repro.broker.records.Serde` — typically
+    :data:`~repro.broker.records.COLUMNAR_SERDE` — turns every record
+    value into real bytes on produce and back on poll, the shape a
+    multi-process broker deployment runs. The columnar serde moves
+    whole column buffers instead of pickling per record, and a decoded
+    batch preserves values, timestamps, sizes and therefore
+    ``total_bytes`` exactly, so byte accounting is serde-invariant.
     """
 
     def __init__(
@@ -122,10 +132,12 @@ class BrokerTransport:
         *,
         max_poll_records: int = 1_000_000,
         now: Callable[[], float] | None = None,
+        serde: "Serde | None" = None,
     ) -> None:
         self.broker = broker if broker is not None else Broker("engine")
         self._max_poll_records = max_poll_records
         self._now = now if now is not None else (lambda: 0.0)
+        self._serde = serde
         self._consumers: dict[str, Consumer] = {}
 
     def register(self, node_name: str) -> None:
@@ -143,9 +155,10 @@ class BrokerTransport:
 
     def deliver(self, dst: str, batch: WeightedBatch) -> None:
         """Land one batch in the destination topic (the final hop)."""
+        value = batch if self._serde is None else self._serde.serialize(batch)
         self.broker.produce(
             topic_for(dst),
-            Record(key=batch.substream, value=batch, timestamp=self._now()),
+            Record(key=batch.substream, value=value, timestamp=self._now()),
         )
 
     def send(self, src: str, dst: str, batch: WeightedBatch) -> None:
@@ -158,7 +171,9 @@ class BrokerTransport:
             raise ConfigurationError(
                 f"collect from unregistered node {dst!r}"
             ) from None
-        return [record.value for record in consumer.poll()]
+        if self._serde is None:
+            return [record.value for record in consumer.poll()]
+        return [self._serde.deserialize(record.value) for record in consumer.poll()]
 
     def has_pending(self) -> bool:
         for node_name, consumer in self._consumers.items():

@@ -50,6 +50,10 @@ class ExperimentScale:
         data_plane: Record representation every runner uses
             (``"objects"`` / ``"columnar"``; see
             :attr:`repro.system.config.PipelineConfig.data_plane`).
+        workers: Process-parallel worker shards for statistical runs
+            (see :attr:`repro.system.config.PipelineConfig.workers`;
+            deployment figures model distribution via simnet and
+            ignore it).
     """
 
     rate_scale: float = 1.0
@@ -58,6 +62,7 @@ class ExperimentScale:
     backend: str = "auto"
     transport: str = "auto"
     data_plane: str = "objects"
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.rate_scale <= 0:
@@ -67,6 +72,10 @@ class ExperimentScale:
         if self.windows <= 0:
             raise ConfigurationError(
                 f"windows must be >= 1, got {self.windows}"
+            )
+        if self.workers < 1:
+            raise ConfigurationError(
+                f"workers must be >= 1, got {self.workers}"
             )
 
     @classmethod
@@ -125,10 +134,10 @@ def base_config(fraction: float, scale: ExperimentScale,
                 placement: PlacementSpec | None = None) -> PipelineConfig:
     """A pipeline config with experiment-standard defaults.
 
-    Threads the scale's seed, sampling backend, transport and data
-    plane into the config, so ``python -m repro figures
-    --backend/--transport/--data-plane`` reach every figure runner
-    through one seam.
+    Threads the scale's seed, sampling backend, transport, data plane
+    and worker-shard count into the config, so ``python -m repro
+    figures --backend/--transport/--data-plane/--workers`` reach every
+    figure runner through one seam.
     """
     kwargs: dict[str, object] = {}
     if placement is not None:
@@ -141,5 +150,6 @@ def base_config(fraction: float, scale: ExperimentScale,
         backend=scale.backend,
         transport=scale.transport,
         data_plane=scale.data_plane,
+        workers=scale.workers,
         **kwargs,
     )

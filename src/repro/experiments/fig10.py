@@ -71,8 +71,8 @@ def run_fig10_settings(
     points: list[Fig10SettingPoint] = []
     for schedule in paper_rate_settings(scale.rate_scale):
         config = base_config(fraction, scale)
-        runner = StatisticalRunner(config, schedule, generators)
-        outcome = runner.run(scale.windows)
+        with StatisticalRunner(config, schedule, generators) as runner:
+            outcome = runner.run(scale.windows)
         points.append(
             Fig10SettingPoint(
                 distribution=distribution,
@@ -106,8 +106,8 @@ def run_fig10_skew(
     points: list[Fig10SkewPoint] = []
     for fraction in fractions:
         config = base_config(fraction, scale)
-        runner = StatisticalRunner(config, schedule, generators)
-        outcome = runner.run(scale.windows)
+        with StatisticalRunner(config, schedule, generators) as runner:
+            outcome = runner.run(scale.windows)
         points.append(
             Fig10SkewPoint(
                 fraction=fraction,

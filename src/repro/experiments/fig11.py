@@ -105,8 +105,8 @@ def run_fig11_accuracy(
     points: list[Fig11AccuracyPoint] = []
     for fraction in fractions:
         config = base_config(fraction, scale)
-        runner = StatisticalRunner(config, schedule, generators)
-        outcome = runner.run(scale.windows)
+        with StatisticalRunner(config, schedule, generators) as runner:
+            outcome = runner.run(scale.windows)
         points.append(
             Fig11AccuracyPoint(
                 dataset=dataset,

@@ -63,8 +63,8 @@ def run_fig5(
     points: list[Fig5Point] = []
     for fraction in fractions:
         config = base_config(fraction, scale)
-        runner = StatisticalRunner(config, schedule, generators)
-        outcome = runner.run(scale.windows)
+        with StatisticalRunner(config, schedule, generators) as runner:
+            outcome = runner.run(scale.windows)
         points.append(
             Fig5Point(
                 distribution=distribution,

@@ -83,6 +83,15 @@ class PipelineConfig:
             identical records on either plane; vectorized reductions
             associate differently, so estimates agree to ~1e-12
             relative rather than bit-for-bit.
+        workers: Process-parallel worker shards for the statistical
+            engine (§III-E). ``1`` (the default) runs the whole tree
+            in-process; ``N > 1`` splits every sub-stream's rate into
+            ``N`` equal shares, runs one full sampling tree per shard
+            in its own OS process, and merges per-shard Theta state at
+            the root. Fixed ``(seed, workers)`` pairs are
+            deterministic. The deployment simulator models
+            distribution explicitly through simnet hosts/links and
+            therefore ignores this knob.
     """
 
     sampling_fraction: float = 0.1
@@ -98,6 +107,7 @@ class PipelineConfig:
     backend: str = "auto"
     transport: str = TRANSPORT_AUTO
     data_plane: str = "objects"
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if not 0.0 < self.sampling_fraction <= 1.0:
@@ -130,6 +140,10 @@ class PipelineConfig:
             raise ConfigurationError(
                 f"data_plane must be one of {DATA_PLANES}, got "
                 f"{self.data_plane!r}"
+            )
+        if not isinstance(self.workers, int) or self.workers < 1:
+            raise ConfigurationError(
+                f"workers must be an integer >= 1, got {self.workers!r}"
             )
 
     @property
@@ -166,3 +180,7 @@ class PipelineConfig:
     def with_seed(self, seed: int) -> "PipelineConfig":
         """A copy of this config with a different random seed."""
         return replace(self, seed=seed)
+
+    def with_workers(self, workers: int) -> "PipelineConfig":
+        """A copy of this config with a different worker-shard count."""
+        return replace(self, workers=workers)

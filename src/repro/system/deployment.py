@@ -27,6 +27,14 @@ ablations). What remains here is deployment-specific: the emission
 chunking, the interval-close clockwork, host CPU accounting and the
 latency/bandwidth measurements.
 
+``PipelineConfig.workers`` does not apply here: the deployment
+simulator models distribution *explicitly* — every tree node is a
+simulated host with its own service rate, so parallelism is a property
+of the placement, not of the driver process. The knob selects
+process-parallel shards for the algorithmic engine
+(:mod:`repro.engine.sharding`, behind the statistical figures) and is
+ignored by this facade.
+
 This is the engine behind Figs. 6, 7, 8, 9 and 11(b).
 """
 

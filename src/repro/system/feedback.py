@@ -71,8 +71,10 @@ class FeedbackDriver:
             config = self._base_config.with_fraction(fraction).with_seed(
                 self._base_config.seed + index
             )
-            runner = StatisticalRunner(config, self._schedule, self._generators)
-            window = runner.run_window()
+            with StatisticalRunner(
+                config, self._schedule, self._generators
+            ) as runner:
+                window = runner.run_window()
             relative_error = (
                 window.approx_sum.relative_error()
                 if window.approx_sum.value != 0

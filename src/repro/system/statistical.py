@@ -16,6 +16,12 @@ strategies in :mod:`repro.engine.runner`, and batch movement behind the
 topics, with identical results on either (seeded runs are
 transport-invariant).
 
+With ``config.workers > 1`` the same loop runs sharded across OS
+processes (:mod:`repro.engine.sharding`): each worker shard samples an
+equal share of every sub-stream and the root merges per-shard Theta
+state before estimating. Call :meth:`StatisticalRunner.close` (or use
+the runner as a context manager) to reap shard processes.
+
 This is the engine behind Figs. 5, 10 and 11(a).
 """
 
@@ -28,6 +34,7 @@ from repro.engine.runner import (
     WindowOutcome,
     accuracy_loss,
 )
+from repro.engine.sharding import ShardedEngineRunner
 from repro.engine.transport import make_statistical_transport
 from repro.system.config import PipelineConfig
 from repro.workloads.rates import RateSchedule
@@ -46,14 +53,18 @@ class StatisticalRunner:
         generators: dict[str, ItemGenerator],
     ) -> None:
         self._config = config
-        self._pipeline = build_pipeline(config, schedule, generators)
-        self._engine = EngineRunner(
-            self._pipeline, make_statistical_transport(config.transport)
-        )
+        self._engine: EngineRunner | ShardedEngineRunner
+        if config.workers > 1:
+            self._engine = ShardedEngineRunner(config, schedule, generators)
+        else:
+            self._engine = EngineRunner(
+                build_pipeline(config, schedule, generators),
+                make_statistical_transport(config.transport),
+            )
 
     @property
-    def engine(self) -> EngineRunner:
-        """The underlying engine runner (pipeline + transport)."""
+    def engine(self) -> EngineRunner | ShardedEngineRunner:
+        """The underlying runner: in-process engine, or sharded driver."""
         return self._engine
 
     def run_window(self) -> WindowOutcome | None:
@@ -68,3 +79,14 @@ class StatisticalRunner:
     def run(self, windows: int) -> RunOutcome:
         """Run several windows and collect the outcomes."""
         return self._engine.run(windows)
+
+    def close(self) -> None:
+        """Release execution resources (worker shard processes)."""
+        if isinstance(self._engine, ShardedEngineRunner):
+            self._engine.close()
+
+    def __enter__(self) -> "StatisticalRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -18,8 +18,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Sequence
 
-from repro.core.columns import ColumnarBatch
+from repro.core.columns import ColumnBuffer, ColumnarBatch
 from repro.core.items import StreamItem
 from repro.errors import WorkloadError
 
@@ -145,27 +146,30 @@ class PollutantSubstream:
         self.item_bytes = item_bytes
         baseline, _scale = POLLUTANTS[pollutant]
         self._level = baseline
+        self._staging = ColumnBuffer()
 
-    def _draw_values(self, count: int, rng: random.Random) -> list[float]:
+    def _draw_values(self, count: int, rng: random.Random) -> Sequence[float]:
         """The one AR(1) advance loop both data planes share.
 
         A single copy of the stateful level recurrence keeps the
         cross-plane parity invariant structural: ``generate`` and
         ``generate_columns`` consume exactly this entropy and apply
-        exactly these level updates.
+        exactly these level updates. Draws land in the reusable
+        staging buffer; see :class:`~repro.core.columns.ColumnBuffer`
+        for the reuse contract.
         """
         if count < 0:
             raise WorkloadError(f"count must be >= 0, got {count}")
         baseline, scale = POLLUTANTS[self.pollutant]
-        values: list[float] = []
-        for _ in range(count):
+        staged = self._staging.writable(count)
+        for index in range(count):
             self._level = max(
                 0.0,
                 baseline + 0.95 * (self._level - baseline)
                 + rng.gauss(0, scale),
             )
-            values.append(round(self._level, 2))
-        return values
+            staged[index] = round(self._level, 2)
+        return staged
 
     def generate(
         self, count: int, rng: random.Random, emitted_at: float = 0.0
@@ -188,11 +192,13 @@ class PollutantSubstream:
 
         Same entropy and level updates as :meth:`generate` (they share
         the advance loop), so seeded runs emit identical readings on
-        either data plane.
+        either data plane; the staging buffer is copied out so
+        successive windows never alias.
         """
+        self._draw_values(count, rng)
         return ColumnarBatch.single(
             f"pollution/{self.pollutant}",
-            self._draw_values(count, rng),
+            self._staging.column(count),
             emitted_at,
             self.item_bytes,
         )

@@ -65,6 +65,28 @@ class RateSchedule:
             {substream: rate * factor for substream, rate in self.rates.items()},
         )
 
+    def split(self, shards: int) -> "list[RateSchedule]":
+        """Equal per-shard shares of this schedule (§III-E sharding).
+
+        Every sub-stream's rate is divided evenly across ``shards``
+        schedules, matching the paper's assumption that each worker
+        node handles an equal portion of every sub-stream's items. The
+        shares sum back to the original schedule exactly (one division
+        per rate, identical across shards), so a sharded run offers
+        the same aggregate load as the single-process run it shards.
+        """
+        if shards <= 0:
+            raise WorkloadError(f"shard count must be >= 1, got {shards}")
+        if shards == 1:
+            return [self]
+        return [
+            RateSchedule(
+                f"{self.name}[shard {index + 1}/{shards}]",
+                {s: rate / shards for s, rate in self.rates.items()},
+            )
+            for index in range(shards)
+        ]
+
 
 def paper_rate_settings(scale: float = 1.0) -> list[RateSchedule]:
     """The three fluctuating-rate settings of §V-D.

@@ -10,9 +10,10 @@ sub-stream name.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Sequence
 
-from repro.core.columns import ColumnarBatch
+from repro.core.columns import ColumnBuffer, ColumnarBatch
 from repro.core.items import StreamItem
 from repro.errors import WorkloadError
 
@@ -32,21 +33,31 @@ class GaussianSubstream:
     mu: float
     sigma: float
     item_bytes: int = 100
+    _staging: ColumnBuffer = field(
+        default_factory=ColumnBuffer, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.sigma < 0:
             raise WorkloadError(f"sigma must be >= 0, got {self.sigma}")
 
-    def _draw_values(self, count: int, rng: random.Random) -> list[float]:
+    def _draw_values(self, count: int, rng: random.Random) -> Sequence[float]:
         """The one value-draw loop both data planes share.
 
         Keeping a single copy is what makes cross-plane parity
         structural: both ``generate`` and ``generate_columns`` consume
-        exactly this entropy, in this order.
+        exactly this entropy, in this order. Draws land in the
+        generator's reusable staging buffer (no per-window list
+        allocation); the returned view is only valid until the next
+        draw — ``generate_columns`` copies it out via
+        ``ColumnBuffer.column`` before the batch leaves.
         """
         if count < 0:
             raise WorkloadError(f"count must be >= 0, got {count}")
-        return [rng.gauss(self.mu, self.sigma) for _ in range(count)]
+        staged = self._staging.writable(count)
+        for index in range(count):
+            staged[index] = rng.gauss(self.mu, self.sigma)
+        return staged
 
     def generate(
         self, count: int, rng: random.Random, emitted_at: float = 0.0
@@ -64,10 +75,12 @@ class GaussianSubstream:
 
         Same entropy as :meth:`generate` (they share the draw loop),
         so seeded runs emit identical values on either data plane; no
-        :class:`StreamItem` objects are ever created.
+        :class:`StreamItem` objects are ever created, and the staging
+        buffer is copied out so successive windows never alias.
         """
+        self._draw_values(count, rng)
         return ColumnarBatch.single(
-            self.name, self._draw_values(count, rng), emitted_at,
+            self.name, self._staging.column(count), emitted_at,
             self.item_bytes,
         )
 
@@ -91,6 +104,9 @@ class PoissonSubstream:
     lam: float
     item_bytes: int = 100
     _approximation_threshold: float = 1000.0
+    _staging: ColumnBuffer = field(
+        default_factory=ColumnBuffer, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.lam <= 0:
@@ -111,11 +127,19 @@ class PoissonSubstream:
             product *= rng.random()
         return float(k)
 
-    def _draw_values(self, count: int, rng: random.Random) -> list[float]:
-        """The one value-draw loop both data planes share."""
+    def _draw_values(self, count: int, rng: random.Random) -> Sequence[float]:
+        """The one value-draw loop both data planes share.
+
+        Draws land in the reusable staging buffer; see
+        :class:`~repro.core.columns.ColumnBuffer` for the reuse
+        contract.
+        """
         if count < 0:
             raise WorkloadError(f"count must be >= 0, got {count}")
-        return [self._draw(rng) for _ in range(count)]
+        staged = self._staging.writable(count)
+        for index in range(count):
+            staged[index] = self._draw(rng)
+        return staged
 
     def generate(
         self, count: int, rng: random.Random, emitted_at: float = 0.0
@@ -132,10 +156,12 @@ class PoissonSubstream:
         """Draw ``count`` values straight into a columnar batch.
 
         Same entropy as :meth:`generate` (they share the draw loop),
-        so seeded runs emit identical values on either data plane.
+        so seeded runs emit identical values on either data plane; the
+        staging buffer is copied out so successive windows never alias.
         """
+        self._draw_values(count, rng)
         return ColumnarBatch.single(
-            self.name, self._draw_values(count, rng), emitted_at,
+            self.name, self._staging.column(count), emitted_at,
             self.item_bytes,
         )
 

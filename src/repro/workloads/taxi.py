@@ -22,8 +22,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Sequence
 
-from repro.core.columns import ColumnarBatch
+from repro.core.columns import ColumnBuffer, ColumnarBatch
 from repro.core.items import StreamItem
 from repro.errors import WorkloadError
 
@@ -166,6 +167,7 @@ class BoroughSubstream:
             )
         self.borough = borough
         self.item_bytes = item_bytes
+        self._staging = ColumnBuffer()
 
     def _total_amount(self, rng: random.Random) -> float:
         distance = min(50.0, rng.lognormvariate(0.55, 0.85))
@@ -174,11 +176,19 @@ class BoroughSubstream:
         tip = 0.0 if rng.random() < 0.45 else fare * rng.uniform(0.05, 0.30)
         return round(fare + surcharges + tip, 2)
 
-    def _draw_values(self, count: int, rng: random.Random) -> list[float]:
-        """The one fare-draw loop both data planes share."""
+    def _draw_values(self, count: int, rng: random.Random) -> Sequence[float]:
+        """The one fare-draw loop both data planes share.
+
+        Draws land in the reusable staging buffer; see
+        :class:`~repro.core.columns.ColumnBuffer` for the reuse
+        contract.
+        """
         if count < 0:
             raise WorkloadError(f"count must be >= 0, got {count}")
-        return [self._total_amount(rng) for _ in range(count)]
+        staged = self._staging.writable(count)
+        for index in range(count):
+            staged[index] = self._total_amount(rng)
+        return staged
 
     def generate(
         self, count: int, rng: random.Random, emitted_at: float = 0.0
@@ -200,11 +210,13 @@ class BoroughSubstream:
         """Draw ``count`` ride payments straight into a columnar batch.
 
         Same entropy as :meth:`generate` (they share the draw loop),
-        so seeded runs emit identical fares on either data plane.
+        so seeded runs emit identical fares on either data plane; the
+        staging buffer is copied out so successive windows never alias.
         """
+        self._draw_values(count, rng)
         return ColumnarBatch.single(
             f"taxi/{self.borough}",
-            self._draw_values(count, rng),
+            self._staging.column(count),
             emitted_at,
             self.item_bytes,
         )

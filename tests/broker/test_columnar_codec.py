@@ -1,0 +1,143 @@
+"""Roundtrip parity for the compact binary weighted-batch codec.
+
+The codec must be a faithful, plane-preserving bijection: values,
+timestamps, sizes and weights survive bit-for-bit (float64 end to
+end), an object-plane batch decodes back to ``StreamItem`` objects and
+a columnar batch back to columns, and byte accounting
+(``total_bytes``) is unchanged — the properties the sharded engine and
+the serde-backed broker transport rely on.
+"""
+
+import pytest
+
+from repro.broker.records import (
+    COLUMNAR_SERDE,
+    decode_weighted_batch,
+    decode_weighted_batches,
+    encode_weighted_batch,
+    encode_weighted_batches,
+)
+from repro.core.columns import ColumnarBatch
+from repro.core.items import StreamItem, WeightedBatch
+from repro.engine.pipeline import build_pipeline
+from repro.engine.runner import EngineRunner
+from repro.engine.transport import BrokerTransport
+from repro.errors import ConfigurationError
+from repro.system.config import PipelineConfig
+from repro.workloads.rates import RateSchedule
+from repro.workloads.synthetic import paper_gaussian_substreams
+
+
+def roundtrip(batch):
+    return decode_weighted_batch(encode_weighted_batch(batch))
+
+
+class TestColumnarRoundtrip:
+    def test_uniform_batch_roundtrips_bitwise(self):
+        payload = ColumnarBatch.single(
+            "A", [1.5, -2.25, 1e300, 0.1 + 0.2], 7.125, 64
+        )
+        decoded = roundtrip(WeightedBatch("A", 2.5, payload))
+        assert isinstance(decoded.items, ColumnarBatch)
+        assert decoded.substream == "A"
+        assert decoded.weight == 2.5
+        assert list(decoded.items.values) == list(payload.values)
+        assert list(decoded.items.timestamps) == list(payload.timestamps)
+        assert decoded.items.uniform_substream == "A"
+        assert decoded.items.sizes == 64
+
+    def test_mixed_strata_and_per_record_sizes(self):
+        payload = ColumnarBatch(
+            ["A", "B", "A"], [1.0, 2.0, 3.0], [0.1, 0.2, 0.3], [10, 20, 30]
+        )
+        decoded = roundtrip(WeightedBatch("A", 1.0, payload))
+        assert decoded.items.substream_ids() == ["A", "B", "A"]
+        assert decoded.items.size_list() == [10, 20, 30]
+        assert decoded.total_bytes == 60
+
+    def test_object_plane_roundtrips_to_items(self):
+        items = [
+            StreamItem("B", 4.5, 1.0, 10),
+            StreamItem("B", 5.5, 2.0, 20),
+        ]
+        decoded = roundtrip(WeightedBatch("B", 3.0, items))
+        assert isinstance(decoded.items, list)
+        assert decoded.items == items
+
+    def test_empty_payloads_roundtrip(self):
+        assert roundtrip(WeightedBatch("A", 1.0, [])).items == []
+        columnar = roundtrip(
+            WeightedBatch("A", 1.0, ColumnarBatch.empty())
+        )
+        assert len(columnar.items) == 0
+
+    def test_accounting_is_codec_invariant(self):
+        payload = ColumnarBatch.single("C", [10.0, 20.0, 30.0], 1.0, 100)
+        original = WeightedBatch("C", 4.0, payload)
+        decoded = roundtrip(original)
+        assert decoded.total_bytes == original.total_bytes
+        assert decoded.estimated_sum == original.estimated_sum
+        assert decoded.estimated_count == original.estimated_count
+
+    def test_batch_sequence_framing(self):
+        batches = [
+            WeightedBatch("A", 1.0, ColumnarBatch.single("A", [1.0], 0.0)),
+            WeightedBatch("B", 2.0, [StreamItem("B", 7.0)]),
+            WeightedBatch("C", 3.0, []),
+        ]
+        decoded = decode_weighted_batches(encode_weighted_batches(batches))
+        assert [b.substream for b in decoded] == ["A", "B", "C"]
+        assert [b.weight for b in decoded] == [1.0, 2.0, 3.0]
+        assert decode_weighted_batches(encode_weighted_batches([])) == []
+
+    def test_bad_magic_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            decode_weighted_batch(b"not-a-batch")
+
+
+class TestSerde:
+    def test_weighted_batches_use_the_binary_format(self):
+        batch = WeightedBatch(
+            "A", 2.0, ColumnarBatch.single("A", [1.0, 2.0], 0.0)
+        )
+        blob = COLUMNAR_SERDE.serialize(batch)
+        assert blob[:4] == b"RWB1"
+        assert COLUMNAR_SERDE.deserialize(blob).estimated_sum == pytest.approx(
+            batch.estimated_sum
+        )
+
+    def test_non_batch_values_fall_back_to_pickle(self):
+        value = {"offsets": [1, 2, 3]}
+        blob = COLUMNAR_SERDE.serialize(value)
+        assert blob[:4] == b"RPK1"
+        assert COLUMNAR_SERDE.deserialize(blob) == value
+
+
+class TestBrokerTransportSerde:
+    GENS = {g.name: g for g in paper_gaussian_substreams()}
+    SCHEDULE = RateSchedule(
+        "serde", {"A": 200.0, "B": 200.0, "C": 200.0, "D": 200.0}
+    )
+
+    @pytest.mark.parametrize("plane", ["objects", "columnar"])
+    def test_serde_backed_broker_run_is_bit_identical(self, plane):
+        """Producing real bytes instead of object references changes
+        nothing about a seeded run — the codec is exact."""
+        outcomes = {}
+        for serde in (None, COLUMNAR_SERDE):
+            config = PipelineConfig(
+                sampling_fraction=0.2,
+                seed=13,
+                backend="python",
+                transport="broker",
+                data_plane=plane,
+            )
+            pipeline = build_pipeline(config, self.SCHEDULE, self.GENS)
+            runner = EngineRunner(pipeline, BrokerTransport(serde=serde))
+            outcomes[serde is None] = runner.run(3)
+        direct, encoded = outcomes[True], outcomes[False]
+        for a, b in zip(direct.windows, encoded.windows):
+            assert a.approx_sum.value == b.approx_sum.value
+            assert a.approx_sum.error == b.approx_sum.error
+            assert a.srs_sum == b.srs_sum
+            assert a.items_sampled == b.items_sampled

@@ -93,3 +93,19 @@ class TestEstimators:
     def test_negative_weight_rejected_at_batch(self):
         with pytest.raises(ValueError):
             WeightedBatch("a", -1.0, [])
+
+
+class TestMerge:
+    def test_merged_store_equals_union_estimates(self):
+        left = ThetaStore()
+        left.add(batch("a", 2.0, [1.0, 2.0]))
+        right = ThetaStore()
+        right.add(batch("a", 3.0, [5.0]))
+        right.add(batch("b", 1.0, [7.0]))
+        union = ThetaStore()
+        for source in (left, right):
+            union.extend(source.batches)
+        left.merge(right)
+        assert estimate_sum(left) == estimate_sum(union)
+        assert len(left) == 3
+        assert left.substreams == ["a", "b"]

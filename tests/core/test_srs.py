@@ -81,3 +81,19 @@ class TestEstimator:
                 misses += 1
         # P(miss both) = 0.95^2 ~ 0.90: the rare stratum usually vanishes.
         assert misses > 200
+
+
+class TestMergeCounters:
+    def test_counters_add_across_shards(self):
+        left = CoinFlipSampler(0.5, random.Random(1))
+        right = CoinFlipSampler(0.5, random.Random(2))
+        left.filter(range(100))
+        right.filter(range(50))
+        seen, kept = left.seen + right.seen, left.kept + right.kept
+        left.merge_counters(right)
+        assert (left.seen, left.kept) == (seen, kept)
+        assert left.weight == 2.0
+
+    def test_fraction_mismatch_is_rejected(self):
+        with pytest.raises(SamplingError):
+            CoinFlipSampler(0.5).merge_counters(CoinFlipSampler(0.25))

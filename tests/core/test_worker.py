@@ -88,3 +88,110 @@ class TestWorkerPool:
             WorkerPool("s", 10, 0)
         with pytest.raises(SamplingError):
             WorkerPool("s", 3, 4)  # less than one slot per worker
+
+
+class TestColumnarOffer:
+    """offer_columns: index-sliced round-robin == per-item routing."""
+
+    BACKENDS = ["python"]
+    try:
+        import numpy  # noqa: F401
+
+        BACKENDS.append("numpy")
+    except ImportError:
+        pass
+
+    @staticmethod
+    def columnar(substream, values):
+        from repro.core.columns import ColumnarBatch
+
+        return ColumnarBatch.single(substream, [float(v) for v in values])
+
+    def flushed(self, pool, weight=1.0):
+        return [
+            (b.substream, b.weight, [item.value for item in b.items])
+            for b in pool.flush(weight)
+        ]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_matches_per_item_round_robin(self, backend):
+        batch = self.columnar("s", range(41))
+        per_item = WorkerPool("s", 12, 3, rng=random.Random(5), backend=backend)
+        batched = WorkerPool("s", 12, 3, rng=random.Random(5), backend=backend)
+        per_item.extend(batch.to_items())
+        batched.offer_columns(batch)
+        assert per_item.seen == batched.seen == 41
+        assert self.flushed(per_item) == self.flushed(batched)
+
+    def test_cursor_is_shared_with_per_item_offers(self):
+        """A batch arriving mid-rotation lands exactly where per-item
+        offers would have put it."""
+        head = make_items("s", range(2))
+        tail = self.columnar("s", range(2, 30))
+        mixed = WorkerPool("s", 9, 3, rng=random.Random(6))
+        plain = WorkerPool("s", 9, 3, rng=random.Random(6))
+        mixed.extend(head)
+        mixed.offer_columns(tail)
+        plain.extend(head + tail.to_items())
+        assert self.flushed(mixed) == self.flushed(plain)
+
+    def test_empty_batch_is_a_noop(self):
+        from repro.core.columns import ColumnarBatch
+
+        pool = WorkerPool("s", 4, 2, rng=random.Random(7))
+        pool.offer_columns(ColumnarBatch.empty())
+        pool.offer_columns(self.columnar("s", []))
+        assert pool.seen == 0
+
+    def test_rejects_foreign_or_mixed_strata(self):
+        from repro.core.columns import ColumnarBatch
+
+        pool = WorkerPool("s", 4, 2, rng=random.Random(8))
+        with pytest.raises(SamplingError):
+            pool.offer_columns(self.columnar("other", [1.0]))
+        mixed = ColumnarBatch(["s", "t"], [1.0, 2.0], [0.0, 0.0])
+        with pytest.raises(SamplingError):
+            pool.offer_columns(mixed)
+
+    def test_parallel_node_receive_columns_matches_receive_raw(self):
+        from repro.core.columns import ColumnarBatch
+        from repro.core.worker import ParallelSamplingNode
+
+        mixed = ColumnarBatch(
+            ["a", "b", "a", "b", "a"],
+            [1.0, 2.0, 3.0, 4.0, 5.0],
+            [0.0] * 5,
+        )
+        outputs = {}
+        for label in ("raw", "columns"):
+            collected = []
+            node = ParallelSamplingNode(
+                "n", 4, 2, collected.append, rng=random.Random(9)
+            )
+            if label == "raw":
+                node.receive_raw(mixed.to_items())
+            else:
+                node.receive_columns(mixed)
+            node.close_interval()
+            outputs[label] = [
+                (b.substream, b.weight, [i.value for i in b.items])
+                for b in collected
+            ]
+        assert outputs["raw"] == outputs["columns"]
+
+    def test_accepts_single_stratum_batch_tagged_per_record(self):
+        from repro.core.columns import ColumnarBatch
+
+        tagged = ColumnarBatch(["s", "s", "s"], [1.0, 2.0, 3.0], [0.0] * 3)
+        uniform = ColumnarBatch.single("s", [1.0, 2.0, 3.0])
+        pools = [
+            WorkerPool("s", 4, 2, rng=random.Random(10)) for _ in range(2)
+        ]
+        pools[0].offer_columns(tagged)
+        pools[1].offer_columns(uniform)
+        flushed = [
+            [(b.substream, b.weight, [i.value for i in b.items])
+             for b in pool.flush(1.0)]
+            for pool in pools
+        ]
+        assert flushed[0] == flushed[1]

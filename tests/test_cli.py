@@ -82,3 +82,22 @@ class TestCommands:
             ["figures", "fig6", "--transport", "inprocess"]
         ) == 2
         assert "transport" in capsys.readouterr().err
+
+
+class TestWorkers:
+    def test_workers_default_is_one(self):
+        args = build_parser().parse_args(["figures"])
+        assert args.workers == 1
+
+    def test_workers_selection(self):
+        args = build_parser().parse_args(["figures", "fig5", "--workers", "4"])
+        assert args.workers == 4
+
+    def test_invalid_workers_reports_error(self, capsys):
+        assert main(["figures", "fig5", "--workers", "0"]) == 2
+        assert "workers" in capsys.readouterr().err
+
+    def test_sharded_figure_run(self, capsys):
+        """A statistical figure regenerates under sharded execution."""
+        assert main(["figures", "fig5", "--workers", "2"]) == 0
+        assert "Fig. 5" in capsys.readouterr().out

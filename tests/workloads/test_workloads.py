@@ -386,3 +386,81 @@ class TestGeneratorColumnParity:
             GaussianSubstream("A", 1.0, 0.0).generate_columns(
                 -1, random.Random(0)
             )
+
+
+class TestColumnStaging:
+    """Generators reuse a staging buffer; emitted batches never alias."""
+
+    def test_successive_windows_do_not_alias(self):
+        gen = GaussianSubstream("g", 100.0, 5.0)
+        rng = random.Random(11)
+        first = gen.generate_columns(50, rng, 0.0)
+        snapshot = list(first.values)
+        gen.generate_columns(50, rng, 1.0)  # overwrites the staging slots
+        assert list(first.values) == snapshot
+
+    def test_reuse_preserves_cross_plane_parity(self):
+        values = {}
+        for plane in ("objects", "columnar"):
+            gen = PollutantSubstream("pm")
+            rng = random.Random(12)
+            drawn = []
+            for window in range(3):  # stateful AR(1) across windows
+                if plane == "objects":
+                    drawn.extend(
+                        item.value
+                        for item in gen.generate(20, rng, float(window))
+                    )
+                else:
+                    drawn.extend(
+                        float(v)
+                        for v in gen.generate_columns(
+                            20, rng, float(window)
+                        ).values
+                    )
+            values[plane] = drawn
+        assert values["objects"] == values["columnar"]
+
+    def test_buffer_grows_high_water_mark_style(self):
+        from repro.core.columns import ColumnBuffer
+
+        buffer = ColumnBuffer()
+        view = buffer.writable(4)
+        view[0] = 1.5
+        assert buffer.capacity == 4
+        del view
+        buffer.writable(2)
+        assert buffer.capacity == 4  # shrinking requests keep the slots
+        assert list(buffer.column(2)) == [1.5, 0.0]
+        buffer.writable(10)
+        assert buffer.capacity == 10
+
+    def test_column_copies_are_independent(self):
+        from repro.core.columns import ColumnBuffer
+
+        buffer = ColumnBuffer()
+        staged = buffer.writable(3)
+        staged[0], staged[1], staged[2] = 1.0, 2.0, 3.0
+        del staged
+        first = buffer.column(3)
+        buffer.writable(3)[0] = 99.0
+        assert list(first) == [1.0, 2.0, 3.0]
+
+
+class TestScheduleSplit:
+    def test_split_shares_sum_to_the_original(self):
+        schedule = RateSchedule("s", {"A": 10.0, "B": 4.0})
+        shards = schedule.split(4)
+        assert len(shards) == 4
+        for substream, rate in schedule.rates.items():
+            assert sum(s.rates[substream] for s in shards) == pytest.approx(
+                rate
+            )
+
+    def test_split_one_returns_the_schedule_itself(self):
+        schedule = RateSchedule("s", {"A": 10.0})
+        assert schedule.split(1) == [schedule]
+
+    def test_split_rejects_nonpositive_counts(self):
+        with pytest.raises(WorkloadError):
+            RateSchedule("s", {"A": 1.0}).split(0)
