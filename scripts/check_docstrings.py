@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Docstring coverage check for the public API of ``src/repro``.
+
+Every public module, class, function and method must carry a
+docstring. "Public" means the name (and, for nested definitions,
+every enclosing name) has no leading underscore; dunder methods are
+exempt (the class docstring documents construction and protocol
+behaviour). Docstrings are the project's primary documentation layer
+— the architecture docs link into them — so a missing one is a CI
+failure, not a style nit.
+
+The check is pure ``ast``: no imports of the checked code, so it runs
+identically with or without optional dependencies.
+
+Usage: python scripts/check_docstrings.py [package-dir ...]
+       (defaults to src/repro)
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+_DEF_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+def is_public(name: str) -> bool:
+    """Whether a name is part of the public API surface."""
+    return not name.startswith("_")
+
+
+def is_property_companion(node: ast.AST) -> bool:
+    """Whether a function is a ``@x.setter`` / ``@x.deleter``.
+
+    The property *getter* carries the attribute's docstring; its
+    companions document nothing new.
+    """
+    for decorator in getattr(node, "decorator_list", []):
+        if isinstance(decorator, ast.Attribute) and decorator.attr in (
+            "setter",
+            "deleter",
+        ):
+            return True
+    return False
+
+
+def missing_docstrings(source: str, label: str) -> list[str]:
+    """All public definitions in one module lacking a docstring.
+
+    Returns human-readable ``label:line: kind name`` entries. The
+    module itself counts as a definition (line 1).
+    """
+    tree = ast.parse(source, filename=label)
+    errors: list[str] = []
+    if ast.get_docstring(tree) is None:
+        errors.append(f"{label}:1: module has no docstring")
+
+    def walk(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if not isinstance(child, _DEF_NODES):
+                continue
+            name = child.name
+            dunder = name.startswith("__") and name.endswith("__")
+            if not is_public(name) and not dunder:
+                continue  # private subtree: nothing below it is public
+            if dunder:
+                continue  # documented by the class docstring
+            if is_property_companion(child):
+                continue  # the getter carries the docstring
+            qualified = f"{prefix}{name}"
+            if ast.get_docstring(child) is None:
+                kind = (
+                    "class" if isinstance(child, ast.ClassDef) else "function"
+                )
+                errors.append(
+                    f"{label}:{child.lineno}: {kind} {qualified} "
+                    f"has no docstring"
+                )
+            if isinstance(child, ast.ClassDef):
+                walk(child, f"{qualified}.")
+            # Functions' inner defs are implementation detail; skip.
+
+    walk(tree, "")
+    return errors
+
+
+def collect_modules(arguments: list[str]) -> list[pathlib.Path]:
+    """The python files to check (public modules only)."""
+    roots = [pathlib.Path(argument) for argument in arguments]
+    if not roots:
+        roots = [REPO_ROOT / "src" / "repro"]
+    files: list[pathlib.Path] = []
+    for root in roots:
+        path = root.resolve()
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.exists():
+            files.append(path)
+        else:
+            print(f"error: no such file or directory: {root}")
+            raise SystemExit(2)
+    return [
+        f for f in files
+        if all(is_public(part) or part == "__init__.py" for part in f.parts)
+    ]
+
+
+def main(argv: list[str]) -> int:
+    """Check every module; non-zero exit when coverage is incomplete."""
+    errors: list[str] = []
+    checked = 0
+    for path in collect_modules(argv):
+        try:
+            label = str(path.relative_to(REPO_ROOT))
+        except ValueError:
+            label = str(path)
+        errors.extend(missing_docstrings(path.read_text(), label))
+        checked += 1
+    if errors:
+        print("\n".join(errors))
+        print(f"\n{len(errors)} missing docstring(s) in {checked} module(s)")
+        return 1
+    print(f"all public docstrings present ({checked} modules checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

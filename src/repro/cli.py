@@ -7,6 +7,12 @@ Commands:
   the paper's evaluation figures as text tables (all of them by
   default) on the selected sampling backend, inter-node transport,
   data plane and worker-shard count.
+* ``scenarios run <name> [--windows N] [--fraction F] [--scale ...]
+  [--backend ...] [--transport ...] [--data-plane ...] [--workers N]``
+  — run a built-in dynamic-workload scenario (bursts, skew drift,
+  node churn, degraded links) and print its per-window
+  quality-over-time table.
+* ``scenarios list`` — list the built-in scenario catalog.
 * ``list`` — list the available figures with descriptions.
 * ``info`` — print the library version and subsystem inventory.
 """
@@ -21,9 +27,16 @@ from typing import Sequence
 from repro import __version__
 from repro.core.fastpath import BACKENDS
 from repro.errors import ReproError
-from repro.experiments.base import ExperimentScale
+from repro.experiments.base import (
+    ExperimentScale,
+    base_config,
+    gaussian_generators,
+    uniform_schedule,
+)
 from repro.experiments.figures import FIGURES, run_figure
+from repro.scenarios.catalog import BUILTIN_SCENARIOS, get_scenario
 from repro.system.config import DATA_PLANES, TRANSPORTS
+from repro.system.scenarios import ScenarioRunner
 
 __all__ = ["build_parser", "main"]
 
@@ -39,11 +52,50 @@ _SUBSYSTEMS = [
     ("repro.simnet", "discrete-event WAN/host simulator"),
     ("repro.topology", "logical tree + placement"),
     ("repro.engine", "unified execution engine (pipeline, transports)"),
-    ("repro.system", "runner facades (statistical / deployment)"),
+    ("repro.scenarios", "declarative dynamic-workload scenarios"),
+    ("repro.system", "runner facades (statistical / deployment / scenario)"),
     ("repro.workloads", "synthetic + real-world trace generators"),
     ("repro.queries", "linear, grouped, top-k and quantile queries"),
     ("repro.experiments", "per-figure evaluation harness"),
 ]
+
+
+def _add_engine_knobs(parser: argparse.ArgumentParser, *, transport_help: str,
+                      workers_help: str) -> None:
+    """The engine knobs shared by ``figures`` and ``scenarios run``."""
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="quick",
+        help="experiment sizing (default: quick)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default="auto",
+        help="sampling kernel (default: auto — numpy when installed)",
+    )
+    parser.add_argument(
+        "--transport",
+        choices=sorted(TRANSPORTS),
+        default="auto",
+        help=transport_help,
+    )
+    parser.add_argument(
+        "--data-plane",
+        choices=sorted(DATA_PLANES),
+        default="objects",
+        help="record representation between layers (default: objects; "
+             "columnar moves structure-of-arrays batches end-to-end "
+             "with identical seeded samples)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help=workers_help,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -63,41 +115,58 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FIG",
         help=f"figure ids to run (default: all of {sorted(FIGURES)})",
     )
-    figures.add_argument(
-        "--scale",
-        choices=sorted(_SCALES),
-        default="quick",
-        help="experiment sizing (default: quick)",
+    _add_engine_knobs(
+        figures,
+        transport_help="inter-node transport (default: auto — in-process "
+                       "for accuracy figures, simnet for deployment "
+                       "figures)",
+        workers_help="process-parallel worker shards for the statistical "
+                     "(accuracy) figures; deployment figures model "
+                     "distribution via simnet and ignore it (default: 1)",
     )
-    figures.add_argument(
-        "--backend",
-        choices=sorted(BACKENDS),
-        default="auto",
-        help="sampling kernel (default: auto — numpy when installed)",
+
+    scenarios = subparsers.add_parser(
+        "scenarios",
+        help="run declarative dynamic-workload scenarios",
     )
-    figures.add_argument(
-        "--transport",
-        choices=sorted(TRANSPORTS),
-        default="auto",
-        help="inter-node transport (default: auto — in-process for "
-             "accuracy figures, simnet for deployment figures)",
+    scenario_commands = scenarios.add_subparsers(
+        dest="scenario_command", required=True
     )
-    figures.add_argument(
-        "--data-plane",
-        choices=sorted(DATA_PLANES),
-        default="objects",
-        help="record representation between layers (default: objects; "
-             "columnar moves structure-of-arrays batches end-to-end "
-             "with identical seeded samples)",
+    scenario_run = scenario_commands.add_parser(
+        "run",
+        help="run a built-in scenario and print quality-over-time metrics",
     )
-    figures.add_argument(
-        "--workers",
+    scenario_run.add_argument(
+        "name",
+        metavar="SCENARIO",
+        help=f"scenario to run, one of {list(BUILTIN_SCENARIOS)}",
+    )
+    scenario_run.add_argument(
+        "--windows",
         type=int,
-        default=1,
+        default=None,
         metavar="N",
-        help="process-parallel worker shards for the statistical "
-             "(accuracy) figures; deployment figures model distribution "
-             "via simnet and ignore it (default: 1)",
+        help="windows to run (default: the scenario's own length)",
+    )
+    scenario_run.add_argument(
+        "--fraction",
+        type=float,
+        default=0.1,
+        metavar="F",
+        help="end-to-end sampling fraction (default: 0.1, the paper's "
+             "headline operating point)",
+    )
+    _add_engine_knobs(
+        scenario_run,
+        transport_help="inter-node transport (default: auto = in-process; "
+                       "'simnet' is rejected — churn re-parents the tree "
+                       "mid-run, which would desync a static WAN "
+                       "placement)",
+        workers_help="process-parallel worker shards; every shard replays "
+                     "the identical scenario timeline (default: 1)",
+    )
+    scenario_commands.add_parser(
+        "list", help="list the built-in scenario catalog"
     )
 
     subparsers.add_parser("list", help="list available figures")
@@ -131,6 +200,41 @@ def _cmd_figures(
     return 0
 
 
+def _cmd_scenarios_run(args: argparse.Namespace) -> int:
+    try:
+        scenario = get_scenario(args.name)
+        scale = replace(
+            _SCALES[args.scale](),
+            backend=args.backend,
+            transport=args.transport,
+            data_plane=args.data_plane,
+            workers=args.workers,
+        )
+        config = base_config(args.fraction, scale)
+        schedule = uniform_schedule(scale.rate_scale)
+        with ScenarioRunner(
+            config, schedule, gaussian_generators(), scenario
+        ) as runner:
+            outcome = runner.run(args.windows)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(outcome.report())
+    print()
+    print(outcome.summary())
+    return 0
+
+
+def _cmd_scenarios_list() -> int:
+    width = max(len(name) for name in BUILTIN_SCENARIOS)
+    for name, scenario in BUILTIN_SCENARIOS.items():
+        print(
+            f"{name.ljust(width)}  {scenario.windows:>3d} windows  "
+            f"{scenario.description}"
+        )
+    return 0
+
+
 def _cmd_list() -> int:
     width = max(len(figure_id) for figure_id in FIGURES)
     for figure_id in sorted(FIGURES):
@@ -156,6 +260,10 @@ def main(argv: Sequence[str] | None = None) -> int:
                 args.ids, args.scale, args.backend, args.transport,
                 args.data_plane, args.workers,
             )
+        if args.command == "scenarios":
+            if args.scenario_command == "run":
+                return _cmd_scenarios_run(args)
+            return _cmd_scenarios_list()
         if args.command == "list":
             return _cmd_list()
         return _cmd_info()

@@ -152,6 +152,12 @@ class SkipAheadReservoirSampler(ReservoirSampler[T]):
         self._skip = 0
 
     def offer(self, item: T) -> None:
+        """Offer one item, spending rng only on accepted candidates.
+
+        Identical inclusion probabilities to Algorithm R's per-item
+        coin, but rejected items burn a counter decrement instead of
+        an rng draw (see :meth:`_draw_skip`).
+        """
         if len(self._reservoir) < self._capacity:
             self._seen += 1
             self._reservoir.append(item)
@@ -190,6 +196,7 @@ class SkipAheadReservoirSampler(ReservoirSampler[T]):
         self._skip = skip
 
     def reset(self) -> None:
+        """Clear the reservoir and the pending skip-ahead counter."""
         super().reset()
         self._skip = 0
 

@@ -55,6 +55,10 @@ class Pipeline:
             layers (``config.data_plane``): ``"objects"`` emits
             ``list[StreamItem]`` batches, ``"columnar"`` emits
             :class:`~repro.core.columns.ColumnarBatch` columns.
+        source_substreams: The sub-stream each source node produces —
+            the round-robin ownership chosen at assembly. Scenario
+            state (per-sub-stream rate modulation, skew drift) is
+            applied per source through this map.
     """
 
     config: PipelineConfig
@@ -65,6 +69,7 @@ class Pipeline:
     sources: dict[str, Source] = field(default_factory=dict)
     source_rates: dict[str, float] = field(default_factory=dict)
     budgets: dict[str, int] = field(default_factory=dict)
+    source_substreams: dict[str, str] = field(default_factory=dict)
 
     def budget(self, node_name: str) -> int:
         """A sampling node's per-interval sample budget."""
@@ -82,6 +87,16 @@ class Pipeline:
             for source in self.tree.sources
             if node_name in self.tree.path_to_root(source.name)
         )
+
+    def substream_owner_count(self, substream: str) -> int:
+        """How many source nodes jointly produce a sub-stream."""
+        count = sum(
+            1 for owner in self.source_substreams.values()
+            if owner == substream
+        )
+        if count == 0:
+            raise PipelineError(f"no sources produce sub-stream {substream!r}")
+        return count
 
     def emit_source(
         self, node_name: str, interval_start: float, interval_seconds: float
@@ -117,12 +132,13 @@ def _build_sources(
     schedule: RateSchedule,
     generators: dict[str, ItemGenerator],
     rng: random.Random,
-) -> dict[str, Source]:
+) -> tuple[dict[str, Source], dict[str, str]]:
     """Assign sub-streams round-robin across the tree's sources.
 
     With 8 sources and 4 sub-streams each sub-stream is produced by
     2 sources; the schedule's per-sub-stream rate is split evenly
-    among them.
+    among them. Returns the sources plus the source → sub-stream
+    ownership map the assignment produced.
     """
     substreams = sorted(schedule.rates)
     missing = [s for s in substreams if s not in generators]
@@ -133,6 +149,7 @@ def _build_sources(
     for index, node in enumerate(source_nodes):
         owners[substreams[index % len(substreams)]].append(node)
     sources: dict[str, Source] = {}
+    source_substreams: dict[str, str] = {}
     for substream, nodes in owners.items():
         if not nodes:
             raise PipelineError(
@@ -147,7 +164,8 @@ def _build_sources(
                 per_source_rate,
                 rng=random.Random(rng.getrandbits(64)),
             )
-    return sources
+            source_substreams[node.name] = substream
+    return sources, source_substreams
 
 
 def build_pipeline(
@@ -165,13 +183,15 @@ def build_pipeline(
     """
     tree = config.tree
     rng = random.Random(config.seed)
+    sources, source_substreams = _build_sources(tree, schedule, generators, rng)
     pipeline = Pipeline(
         config=config,
         tree=tree,
         backend=config.resolved_backend,
         rng=rng,
         data_plane=config.data_plane,
-        sources=_build_sources(tree, schedule, generators, rng),
+        sources=sources,
+        source_substreams=source_substreams,
     )
     pipeline.source_rates = {
         node.name: pipeline.sources[node.name].rate_per_second

@@ -16,12 +16,22 @@ What each sampling node does with its interval inbox is the *strategy*:
 items each window, so accuracy-loss comparisons are apples-to-apples —
 this is the engine behind Figs. 5, 10 and 11(a), and the deployment
 simulator reuses its per-interval sampling step for Figs. 6-9, 11(b).
+
+With a bound :class:`~repro.scenarios.engine.ScenarioEngine` the same
+loop runs *dynamic* workloads: before each window the runner applies
+the scenario's compiled state — effective source rates (bursts, skew
+drift), offline nodes (churn; batches re-parent to the nearest live
+ancestor) and degraded uplinks (seeded batch loss, straggler delays
+that deliver whole windows late). Scenario state is a pure function of
+the window index, so seeded scenario runs stay deterministic on every
+transport, data plane and worker-shard count.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.columns import ColumnarBatch, group_payload, masked_sum
 from repro.core.error_bounds import ApproximateResult, estimate_sum_with_error
@@ -32,6 +42,9 @@ from repro.core.whs import WHSampResult, whsamp_batches
 from repro.engine.pipeline import Pipeline
 from repro.engine.transport import Transport
 from repro.errors import PipelineError
+
+if TYPE_CHECKING:  # import cycle is only structural: scenarios are data
+    from repro.scenarios.engine import ScenarioEngine, WindowState
 
 __all__ = [
     "WindowOutcome",
@@ -61,6 +74,8 @@ class WindowOutcome:
         srs_sum: The SRS baseline's Horvitz-Thompson estimate.
         items_emitted: Ground-truth item count for the window.
         items_sampled: Items physically reaching the root (ApproxIoT).
+        items_dropped: Items destroyed on degraded links this window
+            (0 outside scenario runs — healthy links drop nothing).
     """
 
     window_index: int
@@ -69,6 +84,7 @@ class WindowOutcome:
     srs_sum: float
     items_emitted: int
     items_sampled: int
+    items_dropped: int = 0
 
     @property
     def approxiot_loss(self) -> float:
@@ -126,6 +142,23 @@ class ApproxIoTWindow:
     sampled: int
 
 
+def _estimate_window(theta: ThetaStore, confidence: float) -> ApproximateResult:
+    """One window's root estimate, honest about total blackouts.
+
+    A window in which *nothing* physically reached the root — possible
+    only under scenarios, when degraded links destroy (or straggle)
+    every root-bound batch — has no data to estimate from. The honest
+    answer is 0 with a zero-width interval over zero samples: 100 %
+    loss, never "in bound", which is exactly what a blackout costs.
+    """
+    if not theta.batches:
+        return ApproximateResult(
+            value=0.0, error=0.0, confidence=confidence, variance=0.0,
+            sampled_items=0,
+        )
+    return estimate_sum_with_error(theta, confidence)
+
+
 def sample_interval(
     pipeline: Pipeline, node_name: str, batches: list[WeightedBatch]
 ) -> WHSampResult:
@@ -146,14 +179,42 @@ def sample_interval(
 
 
 class EngineRunner:
-    """Drives the assembled pipeline over windows of generated data."""
+    """Drives the assembled pipeline over windows of generated data.
 
-    def __init__(self, pipeline: Pipeline, transport: Transport) -> None:
+    ``scenario`` (a bound
+    :class:`~repro.scenarios.engine.ScenarioEngine`, or ``None`` for
+    the classic static run) makes the loop dynamic: each window first
+    applies the scenario's compiled state — source rates, offline
+    nodes, degraded uplinks — then runs exactly as before. A ``None``
+    scenario leaves every code path bit-for-bit identical to the
+    pre-scenario engine.
+    """
+
+    def __init__(
+        self,
+        pipeline: Pipeline,
+        transport: Transport,
+        scenario: "ScenarioEngine | None" = None,
+    ) -> None:
         self._pipeline = pipeline
         self._transport = transport
+        self._scenario = scenario
+        if scenario is not None and set(scenario.tree.nodes) != set(
+            pipeline.tree.nodes
+        ):
+            raise PipelineError(
+                "scenario was bound to a different tree than the "
+                "pipeline runs on; bind it to the run's config.tree"
+            )
         for node in pipeline.tree.sampling_nodes:
             transport.register(node.name)
         self._windows_run = 0
+        #: Per-window scenario state (None in static runs / pre-run).
+        self._window_state: "WindowState | None" = None
+        #: Straggler queue: (due_window, src, dst, batch) not yet delivered.
+        self._delayed: list[tuple[int, str, str, WeightedBatch]] = []
+        self._loss_rng: random.Random | None = None
+        self._window_dropped = 0
 
     @property
     def pipeline(self) -> Pipeline:
@@ -193,9 +254,16 @@ class EngineRunner:
         single-shard run is bit-for-bit the in-process run.
         """
         window_start = self._windows_run * self._pipeline.config.window_seconds
+        self._window_dropped = 0
+        if self._scenario is not None:
+            self._window_state = self._scenario.state_for(self._windows_run)
+            self._apply_window_state(self._window_state)
         emitted = self._pipeline.emit_window(window_start)
         items_emitted = sum(len(batch) for batch in emitted.values())
         if items_emitted == 0:
+            # Straggler batches due now stay queued: loss is measured
+            # against emissions, and a no-emission window has no ground
+            # truth to measure late arrivals against.
             self._windows_run += 1
             return None, None
 
@@ -218,6 +286,7 @@ class EngineRunner:
             srs_sum=srs_sum,
             items_emitted=items_emitted,
             items_sampled=approx.sampled,
+            items_dropped=self._window_dropped,
         )
         return outcome, approx.theta
 
@@ -243,6 +312,88 @@ class EngineRunner:
         return outcome
 
     # ------------------------------------------------------------------
+    # Scenario application
+    # ------------------------------------------------------------------
+    def _apply_window_state(self, state: "WindowState") -> None:
+        """Reshape the world before a window runs.
+
+        Sources are re-rated from the scenario's effective
+        per-sub-stream rates (offline sources emit nothing; surviving
+        owners keep their even share — a dead sensor's volume is
+        genuinely lost, not redistributed). The per-window loss rng is
+        derived from ``(seed, window)`` as a string seed (stable
+        across processes), so link-loss decisions are reproducible and
+        independent of the sampling entropy stream.
+        """
+        pipeline = self._pipeline
+        for node in pipeline.tree.sources:
+            substream = pipeline.source_substreams[node.name]
+            owners = pipeline.substream_owner_count(substream)
+            rate = state.rates[substream] / owners
+            if node.name in state.offline:
+                rate = 0.0
+            pipeline.sources[node.name].rate_per_second = rate
+        self._loss_rng = random.Random(
+            f"link-loss:{pipeline.config.seed}:{state.window}"
+        )
+
+    def _route(self, dst: str) -> str:
+        """The live node a destination resolves to under churn."""
+        state = self._window_state
+        if state is None or not state.offline:
+            return dst
+        tree = self._pipeline.tree
+        while dst in state.offline:
+            parent = tree.node(dst).parent
+            assert parent is not None  # the root can never churn
+            dst = parent
+        return dst
+
+    def _deliver(self, src: str, dst: str, batch: WeightedBatch) -> None:
+        """One scenario-aware hop from ``src`` toward ``dst``.
+
+        Applies the window's uplink state for ``src`` — seeded loss
+        (the batch is destroyed; the estimator never learns it
+        existed) or straggler delay (the batch is queued and arrives
+        whole windows later) — then routes around offline nodes to
+        the nearest live ancestor. Static runs fall straight through
+        to the transport.
+        """
+        state = self._window_state
+        if state is not None:
+            link = state.degraded.get(src)
+            if link is not None:
+                if link.loss > 0.0:
+                    assert self._loss_rng is not None
+                    if self._loss_rng.random() < link.loss:
+                        self._window_dropped += len(batch)
+                        return
+                if link.delay_windows > 0:
+                    self._delayed.append(
+                        (self._windows_run + link.delay_windows, src, dst, batch)
+                    )
+                    return
+        self._transport.send(src, self._route(dst), batch)
+
+    def _release_due_stragglers(self) -> None:
+        """Deliver straggler batches whose delay has elapsed.
+
+        Late batches join the *current* window's traversal at their
+        original destination (re-routed if it is now offline) — mass
+        smeared out of the window it was emitted in and into this one,
+        which is exactly the quality wobble a straggler link causes.
+        """
+        if not self._delayed:
+            return
+        now = self._windows_run
+        due = [entry for entry in self._delayed if entry[0] <= now]
+        if not due:
+            return
+        self._delayed = [entry for entry in self._delayed if entry[0] > now]
+        for _due_window, _src, dst, batch in due:
+            self._transport.send(_src, self._route(dst), batch)
+
+    # ------------------------------------------------------------------
     # Strategies
     # ------------------------------------------------------------------
     def _inject(self, emitted: "dict[str, list[StreamItem] | ColumnarBatch]") -> None:
@@ -260,7 +411,7 @@ class EngineRunner:
             parent = source_node.parent
             assert parent is not None
             for substream, chunk in group_payload(payload).items():
-                self._transport.send(
+                self._deliver(
                     source_node.name,
                     parent,
                     WeightedBatch(substream, 1.0, chunk),
@@ -269,10 +420,23 @@ class EngineRunner:
     def run_approxiot(
         self, emitted: "dict[str, list[StreamItem] | ColumnarBatch]"
     ) -> ApproxIoTWindow:
-        """Propagate one window bottom-up with WHSamp at every node."""
+        """Propagate one window bottom-up with WHSamp at every node.
+
+        Under a scenario, straggler batches due this window are
+        released first, offline nodes are skipped (their traffic was
+        routed around them at send time), and every upward hop goes
+        through the scenario-aware :meth:`_deliver`.
+        """
+        self._release_due_stragglers()
         self._inject(emitted)
+        offline = (
+            self._window_state.offline if self._window_state is not None
+            else frozenset()
+        )
         theta = ThetaStore()
         for node in self._pipeline.tree.sampling_nodes:  # bottom-up, root last
+            if node.name in offline:
+                continue
             batches = self._transport.collect(node.name)
             if not batches:
                 continue
@@ -281,9 +445,18 @@ class EngineRunner:
                 theta.extend(result.batches)
             else:
                 for batch in result.batches:
-                    self._transport.send(node.name, node.parent, batch)
+                    self._deliver(node.name, node.parent, batch)
         sampled = sum(len(batch) for batch in theta.batches)
-        approx = estimate_sum_with_error(theta, self._pipeline.config.confidence)
+        if self._scenario is not None:
+            approx = _estimate_window(theta, self._pipeline.config.confidence)
+        else:
+            # Static runs keep the loud EstimationError on an empty
+            # Theta: nothing can legitimately destroy root-bound
+            # batches without a scenario, so silence would hide a
+            # misconfiguration (e.g. budgets rounded to zero).
+            approx = estimate_sum_with_error(
+                theta, self._pipeline.config.confidence
+            )
         return ApproxIoTWindow(theta=theta, approx=approx, sampled=sampled)
 
     def run_srs(
@@ -320,8 +493,14 @@ class EngineRunner:
     ) -> float:
         """Everything forwarded unsampled; the root's sum is exact."""
         self._inject(emitted)
+        offline = (
+            self._window_state.offline if self._window_state is not None
+            else frozenset()
+        )
         total = 0.0
         for node in self._pipeline.tree.sampling_nodes:
+            if node.name in offline:
+                continue
             batches = self._transport.collect(node.name)
             if not batches:
                 continue
@@ -329,5 +508,5 @@ class EngineRunner:
                 total += sum(batch.estimated_sum for batch in batches)
             else:
                 for batch in batches:
-                    self._transport.send(node.name, node.parent, batch)
+                    self._deliver(node.name, node.parent, batch)
         return total

@@ -60,12 +60,18 @@ from repro.broker.records import decode_weighted_batches, encode_weighted_batche
 from repro.core.error_bounds import estimate_sum_with_error
 from repro.core.estimator import ThetaStore
 from repro.engine.pipeline import build_pipeline
-from repro.engine.runner import EngineRunner, RunOutcome, WindowOutcome
+from repro.engine.runner import (
+    EngineRunner,
+    RunOutcome,
+    WindowOutcome,
+    _estimate_window,
+)
 from repro.engine.transport import make_statistical_transport
 from repro.errors import ConfigurationError, PipelineError
 from repro.workloads.rates import RateSchedule
 
 if TYPE_CHECKING:
+    from repro.scenarios.scenario import Scenario
     from repro.system.config import PipelineConfig
     from repro.workloads.source import ItemGenerator
 
@@ -114,21 +120,30 @@ def plan_shards(
 
 
 #: One window slot's result as it crosses the process boundary:
-#: ``(items_emitted, exact_sum, srs_sum, items_sampled, theta_blob)``
-#: with ``theta_blob`` the codec-encoded Theta batches (``None`` for an
-#: empty window). Plain tuple of primitives + bytes on purpose — the
-#: pipe never pickles a record object.
-_SlotResult = tuple[int, float, float, int, "bytes | None"]
+#: ``(items_emitted, exact_sum, srs_sum, items_sampled, items_dropped,
+#: theta_blob)`` with ``theta_blob`` the codec-encoded Theta batches
+#: (``None`` for an empty window). Plain tuple of primitives + bytes on
+#: purpose — the pipe never pickles a record object.
+_SlotResult = tuple[int, float, float, int, int, "bytes | None"]
 
 
 class _ShardState:
-    """A shard's private engine, rebuilt identically anywhere it runs."""
+    """A shard's private engine, rebuilt identically anywhere it runs.
+
+    ``scenario`` (a :class:`~repro.scenarios.scenario.Scenario`, pure
+    data) is bound to the shard's own tree and schedule here: scenario
+    state is a pure function of the window index, so every shard
+    recomputes the identical timeline with no coordination — churn
+    takes the same nodes offline in every shard, rate events scale
+    every shard's (already 1/N) rates by the same multipliers.
+    """
 
     def __init__(
         self,
         plan: ShardPlan,
         config: "PipelineConfig",
         generators: "dict[str, ItemGenerator]",
+        scenario: "Scenario | None" = None,
     ) -> None:
         shard_config = replace(config, seed=plan.seed, workers=1)
         # Deep-copied so stateful generators (AR(1) levels, staging
@@ -137,8 +152,15 @@ class _ShardState:
         pipeline = build_pipeline(
             shard_config, plan.schedule, copy.deepcopy(generators)
         )
+        engine = None
+        if scenario is not None:
+            from repro.scenarios.engine import ScenarioEngine
+
+            engine = ScenarioEngine(scenario, pipeline.tree, plan.schedule)
         self._runner = EngineRunner(
-            pipeline, make_statistical_transport(config.transport)
+            pipeline,
+            make_statistical_transport(config.transport),
+            scenario=engine,
         )
 
     def run_slots(self, windows: int) -> list[_SlotResult]:
@@ -147,7 +169,7 @@ class _ShardState:
         for _ in range(windows):
             outcome, theta = self._runner.run_window_with_theta()
             if outcome is None:
-                results.append((0, 0.0, 0.0, 0, None))
+                results.append((0, 0.0, 0.0, 0, 0, None))
             else:
                 results.append(
                     (
@@ -155,16 +177,17 @@ class _ShardState:
                         outcome.exact_sum,
                         outcome.srs_sum,
                         outcome.items_sampled,
+                        outcome.items_dropped,
                         encode_weighted_batches(theta.batches),
                     )
                 )
         return results
 
 
-def _shard_main(conn, plan, config, generators) -> None:
+def _shard_main(conn, plan, config, generators, scenario=None) -> None:
     """Entry point of one shard process: serve run requests until close."""
     try:
-        state = _ShardState(plan, config, generators)
+        state = _ShardState(plan, config, generators, scenario)
     except BaseException:  # noqa: BLE001 - must cross the pipe
         conn.send(("error", traceback.format_exc()))
         conn.close()
@@ -184,12 +207,12 @@ def _shard_main(conn, plan, config, generators) -> None:
 class _ProcessShard:
     """Parent-side handle to one persistent shard process."""
 
-    def __init__(self, context, plan, config, generators) -> None:
+    def __init__(self, context, plan, config, generators, scenario=None) -> None:
         self.index = plan.index
         self._conn, child = context.Pipe(duplex=True)
         self._process = context.Process(
             target=_shard_main,
-            args=(child, plan, config, generators),
+            args=(child, plan, config, generators, scenario),
             name=f"repro-shard-{plan.index}",
             daemon=True,
         )
@@ -233,9 +256,9 @@ class _ProcessShard:
 class _InlineShard:
     """Same protocol as :class:`_ProcessShard`, run in the caller."""
 
-    def __init__(self, plan, config, generators) -> None:
+    def __init__(self, plan, config, generators, scenario=None) -> None:
         self.index = plan.index
-        self._state = _ShardState(plan, config, generators)
+        self._state = _ShardState(plan, config, generators, scenario)
         self._pending: list[_SlotResult] | None = None
 
     def request(self, windows: int) -> None:
@@ -280,6 +303,7 @@ class ShardedEngineRunner:
         generators: "dict[str, ItemGenerator]",
         *,
         inline: bool = False,
+        scenario: "Scenario | None" = None,
     ) -> None:
         if config.transport == "simnet":
             raise ConfigurationError(
@@ -291,6 +315,15 @@ class ShardedEngineRunner:
         self._inline = inline or config.workers == 1
         self._schedule = schedule
         self._generators = generators
+        self._scenario = scenario
+        if scenario is not None:
+            # Validate loudly in the parent before any shard spawns: a
+            # bad event target must fail here, not inside N child
+            # processes. Shards rebuild their own bound engines from
+            # their (1/N-rate) schedules.
+            from repro.scenarios.engine import ScenarioEngine
+
+            ScenarioEngine(scenario, config.tree, schedule)
         self._shards: "list[_ProcessShard | _InlineShard] | None" = None
         self._windows_run = 0
         self._failed = False
@@ -312,13 +345,18 @@ class ShardedEngineRunner:
         if self._shards is None:
             if self._inline:
                 self._shards = [
-                    _InlineShard(plan, self._config, self._generators)
+                    _InlineShard(
+                        plan, self._config, self._generators, self._scenario
+                    )
                     for plan in self._plans
                 ]
             else:
                 context = _mp_context()
                 self._shards = [
-                    _ProcessShard(context, plan, self._config, self._generators)
+                    _ProcessShard(
+                        context, plan, self._config, self._generators,
+                        self._scenario,
+                    )
                     for plan in self._plans
                 ]
         return self._shards
@@ -368,9 +406,15 @@ class ShardedEngineRunner:
             return None
         theta = ThetaStore()
         for result in slot_results:  # shard order == plan order
-            if result[4] is not None:
-                theta.extend(decode_weighted_batches(result[4]))
-        approx = estimate_sum_with_error(theta, self._config.confidence)
+            if result[5] is not None:
+                theta.extend(decode_weighted_batches(result[5]))
+        if self._scenario is not None:
+            # A scenario's degraded links can destroy every shard's
+            # root-bound batches, leaving a non-empty window with an
+            # empty merged Theta; static runs keep the loud error.
+            approx = _estimate_window(theta, self._config.confidence)
+        else:
+            approx = estimate_sum_with_error(theta, self._config.confidence)
         return WindowOutcome(
             window_index=self._windows_run,
             exact_sum=sum(result[1] for result in slot_results),
@@ -378,6 +422,7 @@ class ShardedEngineRunner:
             srs_sum=sum(result[2] for result in slot_results),
             items_emitted=items_emitted,
             items_sampled=sum(result[3] for result in slot_results),
+            items_dropped=sum(result[4] for result in slot_results),
         )
 
     def run_window(self) -> WindowOutcome | None:

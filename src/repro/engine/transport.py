@@ -82,9 +82,11 @@ class InProcessTransport:
         self._inboxes: dict[str, list[WeightedBatch]] = {}
 
     def register(self, node_name: str) -> None:
+        """Create the node's inbox (idempotent)."""
         self._inboxes.setdefault(node_name, [])
 
     def send(self, src: str, dst: str, batch: WeightedBatch) -> None:
+        """Append the batch to the destination's inbox, by reference."""
         try:
             self._inboxes[dst].append(batch)
         except KeyError:
@@ -93,6 +95,7 @@ class InProcessTransport:
             ) from None
 
     def collect(self, dst: str) -> list[WeightedBatch]:
+        """Drain the node's inbox, returning batches in send order."""
         if dst not in self._inboxes:
             raise ConfigurationError(
                 f"collect from unregistered node {dst!r}"
@@ -101,9 +104,11 @@ class InProcessTransport:
         return batches
 
     def has_pending(self) -> bool:
+        """True while any inbox holds undrained batches."""
         return any(self._inboxes.values())
 
     def close(self) -> None:
+        """Drop every inbox."""
         self._inboxes.clear()
 
 
@@ -141,6 +146,7 @@ class BrokerTransport:
         self._consumers: dict[str, Consumer] = {}
 
     def register(self, node_name: str) -> None:
+        """Create the node's ingest topic and consumer (idempotent)."""
         if node_name in self._consumers:
             return
         topic = topic_for(node_name)
@@ -162,9 +168,11 @@ class BrokerTransport:
         )
 
     def send(self, src: str, dst: str, batch: WeightedBatch) -> None:
+        """Produce the batch straight to the destination topic."""
         self.deliver(dst, batch)
 
     def collect(self, dst: str) -> list[WeightedBatch]:
+        """Poll the node's consumer group, decoding if a serde is set."""
         try:
             consumer = self._consumers[dst]
         except KeyError:
@@ -176,6 +184,7 @@ class BrokerTransport:
         return [self._serde.deserialize(record.value) for record in consumer.poll()]
 
     def has_pending(self) -> bool:
+        """True while any consumer lags behind its topic's end offset."""
         for node_name, consumer in self._consumers.items():
             topic = topic_for(node_name)
             for partition, end in self.broker.end_offsets(topic).items():
@@ -184,6 +193,7 @@ class BrokerTransport:
         return False
 
     def close(self) -> None:
+        """Close every consumer and forget the registrations."""
         for consumer in self._consumers.values():
             consumer.close()
         self._consumers.clear()
@@ -215,6 +225,7 @@ class SimnetBrokerTransport(BrokerTransport):
         self._network = network
 
     def send(self, src: str, dst: str, batch: WeightedBatch) -> None:
+        """Cross the src→dst WAN link, then produce on delivery."""
         self._network.send(
             src,
             dst,

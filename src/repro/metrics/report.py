@@ -11,12 +11,17 @@ from typing import Sequence
 
 from repro.errors import ReproError
 
-__all__ = ["Table", "format_rate", "format_percent"]
+__all__ = ["Table", "format_rate", "format_percent", "format_ratio"]
 
 
 def format_percent(value: float, digits: int = 4) -> str:
     """Render a percentage with fixed precision."""
     return f"{value:.{digits}f}%"
+
+
+def format_ratio(value: float, digits: int = 2) -> str:
+    """Render a multiplier/utilisation ratio (``1.50x`` style)."""
+    return f"{value:.{digits}f}x"
 
 
 def format_rate(items_per_second: float) -> str:

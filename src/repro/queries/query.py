@@ -42,6 +42,7 @@ class SumQuery(LinearQuery):
         super().__init__("sum", confidence)
 
     def execute(self, theta: ThetaStore) -> ApproximateResult:
+        """SUM* with its §III-D error bound over the window's Theta."""
         return estimate_sum_with_error(theta, self.confidence)
 
 
@@ -52,6 +53,7 @@ class MeanQuery(LinearQuery):
         super().__init__("mean", confidence)
 
     def execute(self, theta: ThetaStore) -> ApproximateResult:
+        """MEAN* with its §III-D error bound over the window's Theta."""
         return estimate_mean_with_error(theta, self.confidence)
 
 
@@ -67,6 +69,7 @@ class CountQuery(LinearQuery):
         super().__init__("count", confidence)
 
     def execute(self, theta: ThetaStore) -> ApproximateResult:
+        """The Eq. 8-recovered item count (exact, zero-width bound)."""
         estimates = theta.per_substream()
         if not estimates:
             raise EstimationError("cannot count over an empty store")
@@ -90,6 +93,7 @@ class PerSubstreamSumQuery(LinearQuery):
         super().__init__("per-substream-sum", confidence)
 
     def execute(self, theta: ThetaStore) -> ApproximateResult:
+        """The overall SUM* (see :meth:`execute_grouped` for strata)."""
         return estimate_sum_with_error(theta, self.confidence)
 
     def execute_grouped(self, theta: ThetaStore) -> dict[str, ApproximateResult]:

@@ -1,0 +1,69 @@
+"""The :class:`Scenario` — a named, declarative timeline of events.
+
+A scenario describes *what the world does* to a run: how arrival
+rates move, which sub-streams gain or lose share, which nodes churn
+and which links degrade — all as data, with no reference to a
+concrete tree or schedule. Binding a scenario to a run's topology and
+rate schedule (and turning it into per-window state) is the job of
+:class:`~repro.scenarios.engine.ScenarioEngine`; the built-in catalog
+lives in :mod:`repro.scenarios.catalog`.
+
+Scenarios are pure, picklable data, which is what lets worker shards
+recompute the identical timeline independently in their own
+processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.scenarios.events import ScenarioEvent
+
+__all__ = ["Scenario"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A seeded timeline of typed dynamic-workload events.
+
+    Attributes:
+        name: Scenario identifier (CLI name for catalog entries).
+        description: One-line human summary.
+        windows: Default run length in windows; events beyond it are
+            rejected (a runner may still run longer — the timeline is
+            steady-state after the last event).
+        events: The typed events (see :mod:`repro.scenarios.events`),
+            applied simultaneously; overlapping rate events multiply,
+            overlapping degradations compose.
+    """
+
+    name: str
+    description: str
+    windows: int
+    events: tuple[ScenarioEvent, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("scenario needs a non-empty name")
+        if self.windows < 1:
+            raise ConfigurationError(
+                f"scenario windows must be >= 1, got {self.windows}"
+            )
+        object.__setattr__(self, "events", tuple(self.events))
+        for event in self.events:
+            end = getattr(event, "end_window")
+            if end > self.windows:
+                raise ConfigurationError(
+                    f"scenario {self.name!r} is {self.windows} windows "
+                    f"long but event {event!r} runs to window {end}"
+                )
+
+    @property
+    def is_steady(self) -> bool:
+        """Whether the scenario has no events at all (the control)."""
+        return not self.events
+
+    def events_of(self, *types: type) -> "tuple[ScenarioEvent, ...]":
+        """The scenario's events of the given type(s), in timeline order."""
+        return tuple(e for e in self.events if isinstance(e, types))

@@ -102,4 +102,5 @@ class FunctionProcessor(Processor):
         self._fn = fn
 
     def process(self, key: Any, value: Any) -> None:
+        """Invoke the wrapped callable with the processor's context."""
         self._fn(key, value, self.context)

@@ -39,6 +39,7 @@ class SinkNode(Processor):
         self._emit = emit
 
     def process(self, key: Any, value: Any) -> None:
+        """Emit the record to the sink's output topic."""
         self._emit(self.topic, key, value)
 
 

@@ -9,11 +9,22 @@ and the pluggable transports):
 * :class:`~repro.system.deployment.DeploymentSimulator` runs the whole
   deployment (broker + WAN + finite hosts) for the throughput, latency
   and bandwidth experiments.
+
+A third facade, :class:`~repro.system.scenarios.ScenarioRunner`,
+drives the statistical engine through a declarative
+:class:`~repro.scenarios.scenario.Scenario` timeline (rate bursts,
+skew drift, node churn, degraded links) and reports per-window
+quality-over-time metrics.
 """
 
 from repro.system.config import ExecutionMode, PipelineConfig
 from repro.system.deployment import DeploymentReport, DeploymentSimulator
 from repro.system.feedback import FeedbackDriver, FeedbackOutcome
+from repro.system.scenarios import (
+    ScenarioOutcome,
+    ScenarioRunner,
+    ScenarioWindow,
+)
 from repro.system.statistical import (
     RunOutcome,
     StatisticalRunner,
@@ -30,6 +41,9 @@ __all__ = [
     "FeedbackOutcome",
     "PipelineConfig",
     "RunOutcome",
+    "ScenarioOutcome",
+    "ScenarioRunner",
+    "ScenarioWindow",
     "StatisticalRunner",
     "WindowOutcome",
     "WindowResult",

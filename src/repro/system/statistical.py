@@ -36,6 +36,8 @@ from repro.engine.runner import (
 )
 from repro.engine.sharding import ShardedEngineRunner
 from repro.engine.transport import make_statistical_transport
+from repro.scenarios.engine import ScenarioEngine
+from repro.scenarios.scenario import Scenario
 from repro.system.config import PipelineConfig
 from repro.workloads.rates import RateSchedule
 from repro.workloads.source import ItemGenerator
@@ -44,22 +46,40 @@ __all__ = ["WindowOutcome", "RunOutcome", "StatisticalRunner", "accuracy_loss"]
 
 
 class StatisticalRunner:
-    """Drives the logical tree over windows of generated data."""
+    """Drives the logical tree over windows of generated data.
+
+    ``scenario`` (a :class:`~repro.scenarios.scenario.Scenario`) makes
+    the run dynamic: the engine applies the scenario's per-window
+    state — rate bursts, skew drift, node churn, degraded links —
+    before each window, on any transport/backend/plane/worker
+    combination. ``None`` (the default) is the classic static run,
+    bit-for-bit unchanged.
+    """
 
     def __init__(
         self,
         config: PipelineConfig,
         schedule: RateSchedule,
         generators: dict[str, ItemGenerator],
+        *,
+        scenario: Scenario | None = None,
     ) -> None:
         self._config = config
         self._engine: EngineRunner | ShardedEngineRunner
         if config.workers > 1:
-            self._engine = ShardedEngineRunner(config, schedule, generators)
+            self._engine = ShardedEngineRunner(
+                config, schedule, generators, scenario=scenario
+            )
         else:
+            engine_scenario = None
+            if scenario is not None:
+                engine_scenario = ScenarioEngine(
+                    scenario, config.tree, schedule
+                )
             self._engine = EngineRunner(
                 build_pipeline(config, schedule, generators),
                 make_statistical_transport(config.transport),
+                scenario=engine_scenario,
             )
 
     @property

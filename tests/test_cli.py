@@ -101,3 +101,62 @@ class TestWorkers:
         """A statistical figure regenerates under sharded execution."""
         assert main(["figures", "fig5", "--workers", "2"]) == 0
         assert "Fig. 5" in capsys.readouterr().out
+
+
+class TestScenarios:
+    def test_parser_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenarios"])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["scenarios", "run", "flash-crowd"])
+        assert args.scenario_command == "run"
+        assert args.name == "flash-crowd"
+        assert args.windows is None
+        assert args.fraction == 0.1
+        assert args.scale == "quick"
+        assert args.workers == 1
+
+    def test_run_knobs(self):
+        args = build_parser().parse_args(
+            ["scenarios", "run", "churn", "--windows", "5",
+             "--fraction", "0.4", "--backend", "python",
+             "--transport", "broker", "--data-plane", "columnar",
+             "--workers", "2"]
+        )
+        assert (args.windows, args.fraction) == (5, 0.4)
+        assert (args.backend, args.transport) == ("python", "broker")
+        assert (args.data_plane, args.workers) == ("columnar", 2)
+
+    def test_list_prints_the_catalog(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("steady", "flash-crowd", "diurnal", "drift",
+                     "churn", "brownout"):
+            assert name in out
+
+    def test_run_prints_quality_over_time(self, capsys):
+        assert main(
+            ["scenarios", "run", "flash-crowd", "--scale", "quick",
+             "--windows", "4", "--backend", "python"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "quality over time" in out
+        assert "mean loss" in out
+
+    def test_run_sharded_scenario(self, capsys):
+        assert main(
+            ["scenarios", "run", "churn", "--scale", "quick",
+             "--windows", "4", "--workers", "2"]
+        ) == 0
+        assert "quality over time" in capsys.readouterr().out
+
+    def test_unknown_scenario_reports_error(self, capsys):
+        assert main(["scenarios", "run", "heat-death"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_simnet_transport_reports_error(self, capsys):
+        assert main(
+            ["scenarios", "run", "churn", "--transport", "simnet"]
+        ) == 2
+        assert "placement" in capsys.readouterr().err
