@@ -3,15 +3,17 @@
 Commands:
 
 * ``figures [ids...] [--scale quick|bench] [--backend ...]
-  [--transport ...] [--data-plane ...] [--workers N]`` — regenerate
-  the paper's evaluation figures as text tables (all of them by
-  default) on the selected sampling backend, inter-node transport,
-  data plane and worker-shard count.
+  [--transport ...] [--data-plane ...] [--workers N]
+  [--budget-controller ...]`` — regenerate the paper's evaluation
+  figures as text tables (all of them by default) on the selected
+  sampling backend, inter-node transport, data plane, worker-shard
+  count and per-window budget controller.
 * ``scenarios run <name> [--windows N] [--fraction F] [--scale ...]
-  [--backend ...] [--transport ...] [--data-plane ...] [--workers N]``
-  — run a built-in dynamic-workload scenario (bursts, skew drift,
-  node churn, degraded links) and print its per-window
-  quality-over-time table.
+  [--backend ...] [--transport ...] [--data-plane ...] [--workers N]
+  [--budget-controller ...]`` — run a built-in dynamic-workload
+  scenario (bursts, skew drift, node churn, degraded links) and print
+  its per-window quality-over-time table, optionally with the §IV-B
+  feedback loop closed in-run.
 * ``scenarios list`` — list the built-in scenario catalog.
 * ``list`` — list the available figures with descriptions.
 * ``info`` — print the library version and subsystem inventory.
@@ -35,7 +37,7 @@ from repro.experiments.base import (
 )
 from repro.experiments.figures import FIGURES, run_figure
 from repro.scenarios.catalog import BUILTIN_SCENARIOS, get_scenario
-from repro.system.config import DATA_PLANES, TRANSPORTS
+from repro.system.config import BUDGET_CONTROLLERS, DATA_PLANES, TRANSPORTS
 from repro.system.scenarios import ScenarioRunner
 
 __all__ = ["build_parser", "main"]
@@ -95,6 +97,15 @@ def _add_engine_knobs(parser: argparse.ArgumentParser, *, transport_help: str,
         default=1,
         metavar="N",
         help=workers_help,
+    )
+    parser.add_argument(
+        "--budget-controller",
+        choices=sorted(BUDGET_CONTROLLERS),
+        default="static",
+        help="per-window budget feedback for statistical runs (default: "
+             "static = no feedback; adaptive_fraction steers the global "
+             "fraction on the reported bound; variance_aware re-splits a "
+             "fixed budget toward high-variance sub-streams)",
     )
 
 
@@ -176,7 +187,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_figures(
     ids: list[str], scale_name: str, backend: str, transport: str,
-    data_plane: str, workers: int,
+    data_plane: str, workers: int, budget_controller: str,
 ) -> int:
     try:
         scale = replace(
@@ -185,6 +196,7 @@ def _cmd_figures(
             transport=transport,
             data_plane=data_plane,
             workers=workers,
+            budget_controller=budget_controller,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -209,6 +221,7 @@ def _cmd_scenarios_run(args: argparse.Namespace) -> int:
             transport=args.transport,
             data_plane=args.data_plane,
             workers=args.workers,
+            budget_controller=args.budget_controller,
         )
         config = base_config(args.fraction, scale)
         schedule = uniform_schedule(scale.rate_scale)
@@ -258,7 +271,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.command == "figures":
             return _cmd_figures(
                 args.ids, args.scale, args.backend, args.transport,
-                args.data_plane, args.workers,
+                args.data_plane, args.workers, args.budget_controller,
             )
         if args.command == "scenarios":
             if args.scenario_command == "run":

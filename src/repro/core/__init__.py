@@ -14,7 +14,12 @@ from repro.core.columns import (
     masked_sum,
     payload_timestamps,
 )
-from repro.core.cost import AdaptiveErrorBudget, FractionBudget, ThroughputBudget
+from repro.core.cost import (
+    AdaptiveErrorBudget,
+    FractionBudget,
+    ThroughputBudget,
+    neyman_factors,
+)
 from repro.core.error_bounds import (
     ApproximateResult,
     confidence_multiplier,
@@ -50,6 +55,7 @@ from repro.core.stratified import (
     allocate_equal,
     allocate_fair_fill,
     allocate_proportional,
+    allocate_weighted,
     get_allocation_policy,
 )
 from repro.core.weights import WeightMap, local_weight, output_weight
@@ -83,6 +89,7 @@ __all__ = [
     "allocate_equal",
     "allocate_fair_fill",
     "allocate_proportional",
+    "allocate_weighted",
     "confidence_multiplier",
     "estimate_mean",
     "estimate_mean_with_error",
@@ -97,6 +104,7 @@ __all__ = [
     "local_weight",
     "make_reservoir_sampler",
     "mean_variance",
+    "neyman_factors",
     "numpy_available",
     "output_weight",
     "reservoir_sample",

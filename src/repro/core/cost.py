@@ -15,15 +15,65 @@ automated controller:
 * :class:`AdaptiveErrorBudget` — the feedback mechanism of §IV-B: if
   the reported error bound exceeds the target, grow the sampling
   fraction for subsequent runs; if comfortably below, shrink it.
+* :func:`neyman_factors` — the per-stratum tilt of Neyman allocation:
+  normalized standard-deviation factors that, multiplied by arrival
+  counts, weight ``getSampleSize`` toward the strata dominating the
+  stratified variance of Eq. 10-12.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from typing import Mapping
 
 from repro.errors import ConfigurationError
 
-__all__ = ["FractionBudget", "ThroughputBudget", "AdaptiveErrorBudget"]
+__all__ = [
+    "FractionBudget",
+    "ThroughputBudget",
+    "AdaptiveErrorBudget",
+    "neyman_factors",
+]
+
+
+def neyman_factors(variances: Mapping[str, float]) -> dict[str, float]:
+    """Per-stratum standard-deviation factors, normalized to mean 1.
+
+    Neyman allocation sizes stratum ``i``'s reservoir proportionally to
+    ``c_i * s_i`` — arrival count times standard deviation. The counts
+    are known exactly at allocation time; the deviations must come from
+    feedback (last window's realized sample). This helper turns a map
+    of realized per-stratum variances into the ``s_i`` tilt: factors
+    proportional to ``sqrt(variance)``, scaled so their mean is 1 (a
+    flat map of 1s is the neutral, count-proportional allocation).
+
+    Strata with no variance signal — fewer than two sampled values, or
+    a genuinely constant stream — get the smallest positive factor
+    rather than zero: absence of evidence must not starve a stratum
+    that the one-slot allocation floor would otherwise carry alone.
+    An input with no positive variance at all returns all 1s.
+    """
+    deviations = {}
+    for substream, variance in variances.items():
+        if variance < 0:
+            raise ConfigurationError(
+                f"stratum {substream!r} has negative variance {variance}"
+            )
+        deviations[substream] = math.sqrt(variance)
+    positive = [deviation for deviation in deviations.values() if deviation > 0]
+    if not positive:
+        return {substream: 1.0 for substream in deviations}
+    floor = min(positive)
+    deviations = {
+        substream: deviation if deviation > 0 else floor
+        for substream, deviation in deviations.items()
+    }
+    mean = sum(deviations.values()) / len(deviations)
+    return {
+        substream: deviation / mean
+        for substream, deviation in deviations.items()
+    }
 
 
 def _require_fraction(fraction: float) -> float:

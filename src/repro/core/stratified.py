@@ -29,6 +29,7 @@ __all__ = [
     "allocate_equal",
     "allocate_fair_fill",
     "allocate_proportional",
+    "allocate_weighted",
     "get_allocation_policy",
 ]
 
@@ -97,6 +98,18 @@ def allocate_proportional(
             allocation[by_fraction[index % len(by_fraction)]] += 1
             leftovers -= 1
             index += 1
+    else:
+        # The min-1 floor can push the total past the budget when many
+        # strata have near-zero shares; shave the overshoot off the
+        # largest reservoirs so totals conserve whenever the budget
+        # covers the stratum count (the floor itself is never shaved).
+        overshoot = -leftovers
+        while overshoot > 0:
+            largest = max(allocation, key=lambda s: (allocation[s], s))
+            if allocation[largest] <= 1:
+                break
+            allocation[largest] -= 1
+            overshoot -= 1
     return allocation
 
 
@@ -147,6 +160,101 @@ def allocate_fair_fill(
             allocation[substream] = count
             remaining -= count
             del active[substream]
+    return allocation
+
+
+def allocate_weighted(
+    sample_size: int,
+    stratum_counts: Mapping[str, int],
+    weights: Mapping[str, float],
+) -> dict[str, int]:
+    """Water-fill the budget by external weights, capped at the counts.
+
+    The weight-generalized form of :func:`allocate_fair_fill`: each
+    stratum's share of the remaining budget is proportional to its
+    weight instead of flat, strata whose arrival count fits under their
+    share keep everything, and the unused slots flow back into the pool
+    for the heavier strata. This is the ``getSampleSize`` shape Neyman
+    allocation needs — weight a stratum by ``c_i * s_i`` and the split
+    approaches the variance-minimizing allocation while still never
+    wasting budget on reservoirs that cannot fill.
+
+    Weights must be non-negative; missing strata default to 1 and an
+    all-zero map degrades to the unweighted fair fill. Every stratum
+    keeps the one-slot floor, and totals conserve exactly whenever the
+    budget covers the stratum count (``sum(alloc) == min(sample_size,
+    sum(max(1, count_i)))``).
+    """
+    _validate(sample_size, stratum_counts)
+    for substream, weight in weights.items():
+        if weight < 0:
+            raise SamplingError(
+                f"stratum {substream!r} has negative weight {weight}"
+            )
+    weight_of = {
+        substream: float(weights.get(substream, 1.0))
+        for substream in stratum_counts
+    }
+    if all(weight == 0.0 for weight in weight_of.values()):
+        weight_of = {substream: 1.0 for substream in weight_of}
+    allocation: dict[str, int] = {}
+    active = {
+        substream: max(1, count) for substream, count in stratum_counts.items()
+    }
+    remaining = sample_size
+    while active:
+        if remaining < len(active):
+            # Budget smaller than the stratum count: one slot each.
+            for substream in active:
+                allocation[substream] = 1
+            break
+        total_weight = sum(weight_of[s] for s in active)
+        shares = {
+            substream: (
+                remaining * weight_of[substream] / total_weight
+                if total_weight > 0 else remaining / len(active)
+            )
+            for substream in active
+        }
+        satisfied = {
+            substream: count
+            for substream, count in active.items()
+            if count <= shares[substream]
+        }
+        if satisfied:
+            for substream, count in satisfied.items():
+                allocation[substream] = count
+                remaining -= count
+                del active[substream]
+            continue
+        # Every cap exceeds its weighted share: integerize the shares
+        # (min 1 slot), largest fractional remainders absorbing the
+        # leftover — each rounded share stays under its cap because
+        # the cap is an integer strictly above the share.
+        base = {
+            substream: max(1, int(shares[substream])) for substream in active
+        }
+        leftover = remaining - sum(base.values())
+        by_fraction = sorted(
+            active,
+            key=lambda s: (shares[s] - int(shares[s]), s),
+            reverse=True,
+        )
+        index = 0
+        while leftover > 0:
+            candidate = by_fraction[index % len(by_fraction)]
+            if base[candidate] < active[candidate]:
+                base[candidate] += 1
+                leftover -= 1
+            index += 1
+        while leftover < 0:
+            largest = max(base, key=lambda s: (base[s], s))
+            if base[largest] <= 1:  # pragma: no cover - defensive
+                break
+            base[largest] -= 1
+            leftover += 1
+        allocation.update(base)
+        break
     return allocation
 
 

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.core.cost import FractionBudget
+from repro.core.stratified import AllocationPolicy
 from repro.errors import PipelineError
 from repro.topology.tree import LogicalTree, TreeNode
 from repro.workloads.rates import RateSchedule
@@ -59,6 +60,11 @@ class Pipeline:
             the round-robin ownership chosen at assembly. Scenario
             state (per-sub-stream rate modulation, skew drift) is
             applied per source through this map.
+        allocation_override: A ``getSampleSize`` policy installed by a
+            budget controller for the *next* window, superseding
+            ``config.allocation_policy`` while set. ``None`` (the
+            default, and the static controller's permanent state) runs
+            the config policy bit-for-bit.
     """
 
     config: PipelineConfig
@@ -70,6 +76,7 @@ class Pipeline:
     source_rates: dict[str, float] = field(default_factory=dict)
     budgets: dict[str, int] = field(default_factory=dict)
     source_substreams: dict[str, str] = field(default_factory=dict)
+    allocation_override: AllocationPolicy | None = None
 
     def budget(self, node_name: str) -> int:
         """A sampling node's per-interval sample budget."""
@@ -79,6 +86,29 @@ class Pipeline:
             raise PipelineError(
                 f"no budget for node {node_name!r}; is it a sampling node?"
             ) from None
+
+    def budgets_for_fraction(self, fraction: float) -> dict[str, int]:
+        """Per-node budgets for a sampling fraction, assembly formula.
+
+        The exact computation :func:`build_pipeline` runs at assembly
+        — expected interval arrivals from the *assembly-time* subtree
+        rates (scenario rate modulation deliberately excluded: budgets
+        must stay a pure function of ``(config, fraction)`` so every
+        worker shard re-derives identical values coordination-free)
+        through :class:`~repro.core.cost.FractionBudget`. The adaptive
+        fraction controller calls this between windows; a fraction
+        equal to ``config.sampling_fraction`` reproduces the assembly
+        budgets exactly.
+        """
+        budget = FractionBudget(fraction)
+        return {
+            node.name: budget.sample_size(
+                int(round(
+                    self.subtree_rate(node.name) * self.config.window_seconds
+                ))
+            )
+            for node in self.tree.sampling_nodes
+        }
 
     def subtree_rate(self, node_name: str) -> float:
         """Aggregate source rate (items/s) feeding a node's subtree."""
@@ -197,11 +227,5 @@ def build_pipeline(
         node.name: pipeline.sources[node.name].rate_per_second
         for node in tree.sources
     }
-    budget = FractionBudget(config.sampling_fraction)
-    pipeline.budgets = {
-        node.name: budget.sample_size(
-            int(round(pipeline.subtree_rate(node.name) * config.window_seconds))
-        )
-        for node in tree.sampling_nodes
-    }
+    pipeline.budgets = pipeline.budgets_for_fraction(config.sampling_fraction)
     return pipeline

@@ -76,6 +76,9 @@ class WindowOutcome:
         items_sampled: Items physically reaching the root (ApproxIoT).
         items_dropped: Items destroyed on degraded links this window
             (0 outside scenario runs — healthy links drop nothing).
+        sample_budget: The root's per-interval sample budget in effect
+            for this window — the budget controller's live decision
+            (0 only in legacy constructions that predate controllers).
     """
 
     window_index: int
@@ -85,6 +88,7 @@ class WindowOutcome:
     items_emitted: int
     items_sampled: int
     items_dropped: int = 0
+    sample_budget: int = 0
 
     @property
     def approxiot_loss(self) -> float:
@@ -169,10 +173,15 @@ def sample_interval(
     event-driven interval closes both call it, so budget, allocation
     policy, rng and backend are applied identically everywhere.
     """
+    policy = (
+        pipeline.allocation_override
+        if pipeline.allocation_override is not None
+        else pipeline.config.allocation_policy
+    )
     return whsamp_batches(
         batches,
         pipeline.budget(node_name),
-        policy=pipeline.config.allocation_policy,
+        policy=policy,
         rng=pipeline.rng,
         backend=pipeline.backend,
     )
@@ -188,6 +197,18 @@ class EngineRunner:
     nodes, degraded uplinks — then runs exactly as before. A ``None``
     scenario leaves every code path bit-for-bit identical to the
     pre-scenario engine.
+
+    The per-window feedback loop lives here too: the runner builds the
+    budget controller ``pipeline.config.budget_controller`` names and,
+    around every window, lets it apply its decision (budgets,
+    allocation override) and observe the realized root state. The
+    ``static`` controller makes both steps no-ops, keeping the classic
+    engine bit-for-bit. ``observe_locally=False`` disables the
+    *observe* half only — worker shards run that way, because in a
+    sharded run the merged-root observation is broadcast back by
+    :class:`~repro.engine.sharding.ShardedEngineRunner` through
+    :meth:`apply_observation` so every shard adapts on global (not
+    shard-local) evidence.
     """
 
     def __init__(
@@ -195,10 +216,21 @@ class EngineRunner:
         pipeline: Pipeline,
         transport: Transport,
         scenario: "ScenarioEngine | None" = None,
+        *,
+        observe_locally: bool = True,
     ) -> None:
+        # Imported lazily: repro.system packages import this module at
+        # load time (same structural cycle as the scenario engine).
+        from repro.system.adaptive import make_budget_controller, observe_window
+
         self._pipeline = pipeline
         self._transport = transport
         self._scenario = scenario
+        self._controller = make_budget_controller(
+            pipeline.config.budget_controller, pipeline.config
+        )
+        self._observe_window = observe_window
+        self._observe_locally = observe_locally
         if scenario is not None and set(scenario.tree.nodes) != set(
             pipeline.tree.nodes
         ):
@@ -225,6 +257,23 @@ class EngineRunner:
     def transport(self) -> Transport:
         """The transport moving batches between nodes."""
         return self._transport
+
+    @property
+    def controller(self):
+        """The live per-window budget controller (see config docs)."""
+        return self._controller
+
+    def apply_observation(self, observation) -> None:
+        """Feed an externally built window observation to the controller.
+
+        The sharded runner's broadcast seam: the parent merges every
+        shard's root Theta, builds one
+        :class:`~repro.system.adaptive.WindowObservation` and pushes it
+        into each shard's controller before the next window, so the
+        coordination-free shards all replay the decision the in-process
+        controller would have made on the same evidence.
+        """
+        self._controller.observe(observation)
 
     # ------------------------------------------------------------------
     # Execution
@@ -255,6 +304,7 @@ class EngineRunner:
         """
         window_start = self._windows_run * self._pipeline.config.window_seconds
         self._window_dropped = 0
+        sample_budget = self._controller.begin_window(self._pipeline)
         if self._scenario is not None:
             self._window_state = self._scenario.state_for(self._windows_run)
             self._apply_window_state(self._window_state)
@@ -278,6 +328,12 @@ class EngineRunner:
             )
         approx = self.run_approxiot(emitted)
         srs_sum = self.run_srs(emitted)
+        if self._observe_locally and self._controller.wants_observations:
+            self._controller.observe(
+                self._observe_window(
+                    self._windows_run, approx.theta, approx.approx
+                )
+            )
         self._windows_run += 1
         outcome = WindowOutcome(
             window_index=self._windows_run,
@@ -287,6 +343,7 @@ class EngineRunner:
             items_emitted=items_emitted,
             items_sampled=approx.sampled,
             items_dropped=self._window_dropped,
+            sample_budget=sample_budget,
         )
         return outcome, approx.theta
 

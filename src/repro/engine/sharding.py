@@ -35,6 +35,15 @@ How a sharded run decomposes:
   was applied per shard against per-shard reservoir sizes, and
   rescaling them would break the Eq. 8 count recovery); the root
   estimate with error bounds is computed once over the union.
+* Under an adaptive budget controller
+  (``config.budget_controller != "static"``) the run goes
+  window-by-window: the parent distills each window's *merged* root
+  Theta into one :class:`~repro.system.adaptive.WindowObservation` and
+  broadcasts it with the next window's request. Every shard feeds the
+  same global evidence to its own controller copy, so all shards
+  recompute the identical decision — shards still never talk to each
+  other, and the codec's bit-exact round trip keeps the broadcast
+  observation equal to what an unsharded engine observes locally.
 
 Shard processes are persistent: they spawn on first use, keep their
 window clock and rng streams across :meth:`ShardedEngineRunner.run`
@@ -121,10 +130,12 @@ def plan_shards(
 
 #: One window slot's result as it crosses the process boundary:
 #: ``(items_emitted, exact_sum, srs_sum, items_sampled, items_dropped,
-#: theta_blob)`` with ``theta_blob`` the codec-encoded Theta batches
-#: (``None`` for an empty window). Plain tuple of primitives + bytes on
-#: purpose — the pipe never pickles a record object.
-_SlotResult = tuple[int, float, float, int, int, "bytes | None"]
+#: theta_blob, sample_budget)`` with ``theta_blob`` the codec-encoded
+#: Theta batches (``None`` for an empty window) and ``sample_budget``
+#: the shard root's budget in effect for the slot (the shard's budget
+#: controller decision). Plain tuple of primitives + bytes on purpose —
+#: the pipe never pickles a record object.
+_SlotResult = tuple[int, float, float, int, int, "bytes | None", int]
 
 
 class _ShardState:
@@ -157,19 +168,39 @@ class _ShardState:
             from repro.scenarios.engine import ScenarioEngine
 
             engine = ScenarioEngine(scenario, pipeline.tree, plan.schedule)
+        # Shards never observe their own (shard-local) Theta: under an
+        # adaptive controller the parent merges every shard's root
+        # state and broadcasts one global observation per window, so
+        # all shards replay the identical controller decision.
         self._runner = EngineRunner(
             pipeline,
             make_statistical_transport(config.transport),
             scenario=engine,
+            observe_locally=False,
         )
 
-    def run_slots(self, windows: int) -> list[_SlotResult]:
-        """Advance the shard through ``windows`` window slots."""
+    def run_slots(
+        self, windows: int, observations: "list | None" = None
+    ) -> list[_SlotResult]:
+        """Advance the shard through ``windows`` window slots.
+
+        ``observations`` (when given) carries one broadcast
+        :class:`~repro.system.adaptive.WindowObservation` (or ``None``
+        = hold) per slot, applied to the shard's controller *before*
+        the slot runs — the same observe-then-begin ordering the
+        in-process engine follows between consecutive windows.
+        """
         results: list[_SlotResult] = []
-        for _ in range(windows):
+        for slot in range(windows):
+            if observations is not None and observations[slot] is not None:
+                self._runner.apply_observation(observations[slot])
             outcome, theta = self._runner.run_window_with_theta()
             if outcome is None:
-                results.append((0, 0.0, 0.0, 0, 0, None))
+                # Budget still reported: a mixed slot (this shard idle,
+                # others emitting) must sum the live decision exactly.
+                pipeline = self._runner.pipeline
+                budget = pipeline.budget(pipeline.tree.root.name)
+                results.append((0, 0.0, 0.0, 0, 0, None, budget))
             else:
                 results.append(
                     (
@@ -179,6 +210,7 @@ class _ShardState:
                         outcome.items_sampled,
                         outcome.items_dropped,
                         encode_weighted_batches(theta.batches),
+                        outcome.sample_budget,
                     )
                 )
         return results
@@ -197,7 +229,8 @@ def _shard_main(conn, plan, config, generators, scenario=None) -> None:
         if message[0] == "close":
             break
         try:
-            conn.send(("ok", state.run_slots(message[1])))
+            observations = message[2] if len(message) > 2 else None
+            conn.send(("ok", state.run_slots(message[1], observations)))
         except BaseException:  # noqa: BLE001 - must cross the pipe
             conn.send(("error", traceback.format_exc()))
             break
@@ -219,9 +252,11 @@ class _ProcessShard:
         self._process.start()
         child.close()
 
-    def request(self, windows: int) -> None:
+    def request(
+        self, windows: int, observations: "list | None" = None
+    ) -> None:
         try:
-            self._conn.send(("run", windows))
+            self._conn.send(("run", windows, observations))
         except (BrokenPipeError, OSError):
             raise PipelineError(
                 f"worker shard {self.index} is gone (did a previous "
@@ -261,8 +296,10 @@ class _InlineShard:
         self._state = _ShardState(plan, config, generators, scenario)
         self._pending: list[_SlotResult] | None = None
 
-    def request(self, windows: int) -> None:
-        self._pending = self._state.run_slots(windows)
+    def request(
+        self, windows: int, observations: "list | None" = None
+    ) -> None:
+        self._pending = self._state.run_slots(windows, observations)
 
     def collect(self) -> list[_SlotResult]:
         assert self._pending is not None
@@ -327,6 +364,11 @@ class ShardedEngineRunner:
         self._shards: "list[_ProcessShard | _InlineShard] | None" = None
         self._windows_run = 0
         self._failed = False
+        #: Adaptive runs go window-by-window: the merged-root
+        #: observation of window N is broadcast to every shard before
+        #: window N+1, persisting across run() calls like shard clocks.
+        self._adaptive = config.budget_controller != "static"
+        self._pending_observation = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -378,6 +420,13 @@ class ShardedEngineRunner:
     # Execution
     # ------------------------------------------------------------------
     def _run_slots(self, windows: int) -> list[WindowOutcome | None]:
+        if self._adaptive:
+            # Feedback closes the loop between consecutive windows, so
+            # the shards cannot run a whole batch ahead: each window's
+            # merged-root observation must reach every shard before
+            # the next window samples. One request/collect round per
+            # window, the broadcast riding the request.
+            return [self._run_adaptive_slot() for _ in range(windows)]
         shards = self._ensure_shards()
         try:
             for shard in shards:  # all shards compute concurrently...
@@ -396,6 +445,20 @@ class ShardedEngineRunner:
             for slot in range(windows)
         ]
 
+    def _run_adaptive_slot(self) -> WindowOutcome | None:
+        """One window under feedback: broadcast, run, merge, observe."""
+        shards = self._ensure_shards()
+        broadcast = [self._pending_observation]
+        try:
+            for shard in shards:
+                shard.request(1, broadcast)
+            per_shard = [shard.collect() for shard in shards]
+        except PipelineError:
+            self._failed = True
+            self.close()
+            raise
+        return self._merge_slot([results[0] for results in per_shard])
+
     def _merge_slot(
         self, slot_results: list[_SlotResult]
     ) -> WindowOutcome | None:
@@ -403,6 +466,8 @@ class ShardedEngineRunner:
         self._windows_run += 1
         items_emitted = sum(result[0] for result in slot_results)
         if items_emitted == 0:
+            if self._adaptive:
+                self._pending_observation = None  # empty window: hold
             return None
         theta = ThetaStore()
         for result in slot_results:  # shard order == plan order
@@ -415,6 +480,15 @@ class ShardedEngineRunner:
             approx = _estimate_window(theta, self._config.confidence)
         else:
             approx = estimate_sum_with_error(theta, self._config.confidence)
+        if self._adaptive:
+            # The merged root state is the observation — identical to
+            # what an unsharded engine would observe, because the
+            # codec round-trips every weight and value bit-for-bit.
+            from repro.system.adaptive import observe_window
+
+            self._pending_observation = observe_window(
+                self._windows_run - 1, theta, approx
+            )
         return WindowOutcome(
             window_index=self._windows_run,
             exact_sum=sum(result[1] for result in slot_results),
@@ -423,6 +497,7 @@ class ShardedEngineRunner:
             items_emitted=items_emitted,
             items_sampled=sum(result[3] for result in slot_results),
             items_dropped=sum(result[4] for result in slot_results),
+            sample_budget=sum(result[6] for result in slot_results),
         )
 
     def run_window(self) -> WindowOutcome | None:

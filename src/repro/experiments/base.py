@@ -54,6 +54,10 @@ class ExperimentScale:
             (see :attr:`repro.system.config.PipelineConfig.workers`;
             deployment figures model distribution via simnet and
             ignore it).
+        budget_controller: Per-window budget feedback loop every
+            statistical runner uses (``"static"`` /
+            ``"adaptive_fraction"`` / ``"variance_aware"``; see
+            :attr:`repro.system.config.PipelineConfig.budget_controller`).
     """
 
     rate_scale: float = 1.0
@@ -63,6 +67,7 @@ class ExperimentScale:
     transport: str = "auto"
     data_plane: str = "objects"
     workers: int = 1
+    budget_controller: str = "static"
 
     def __post_init__(self) -> None:
         if self.rate_scale <= 0:
@@ -134,10 +139,11 @@ def base_config(fraction: float, scale: ExperimentScale,
                 placement: PlacementSpec | None = None) -> PipelineConfig:
     """A pipeline config with experiment-standard defaults.
 
-    Threads the scale's seed, sampling backend, transport, data plane
-    and worker-shard count into the config, so ``python -m repro
-    figures --backend/--transport/--data-plane/--workers`` reach every
-    figure runner through one seam.
+    Threads the scale's seed, sampling backend, transport, data plane,
+    worker-shard count and budget controller into the config, so
+    ``python -m repro figures
+    --backend/--transport/--data-plane/--workers/--budget-controller``
+    reach every figure runner through one seam.
     """
     kwargs: dict[str, object] = {}
     if placement is not None:
@@ -151,5 +157,6 @@ def base_config(fraction: float, scale: ExperimentScale,
         transport=scale.transport,
         data_plane=scale.data_plane,
         workers=scale.workers,
+        budget_controller=scale.budget_controller,
         **kwargs,
     )

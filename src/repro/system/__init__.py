@@ -15,8 +15,24 @@ drives the statistical engine through a declarative
 :class:`~repro.scenarios.scenario.Scenario` timeline (rate bursts,
 skew drift, node churn, degraded links) and reports per-window
 quality-over-time metrics.
+
+The §IV-B feedback loop lives in :mod:`repro.system.adaptive`: the
+per-window :class:`~repro.system.adaptive.BudgetController` the engine
+runs in-loop (``config.budget_controller``), with
+:class:`~repro.system.feedback.FeedbackDriver` as the paper-literal
+between-runs facade over the same machinery.
 """
 
+from repro.system.adaptive import (
+    AdaptiveFractionController,
+    BudgetController,
+    StaticBudgetController,
+    SubstreamObservation,
+    VarianceAwareController,
+    WindowObservation,
+    make_budget_controller,
+    observe_window,
+)
 from repro.system.config import ExecutionMode, PipelineConfig
 from repro.system.deployment import DeploymentReport, DeploymentSimulator
 from repro.system.feedback import FeedbackDriver, FeedbackOutcome
@@ -34,6 +50,8 @@ from repro.system.statistical import (
 from repro.system.windowed import WindowedRoot, WindowResult
 
 __all__ = [
+    "AdaptiveFractionController",
+    "BudgetController",
     "DeploymentReport",
     "DeploymentSimulator",
     "ExecutionMode",
@@ -44,9 +62,15 @@ __all__ = [
     "ScenarioOutcome",
     "ScenarioRunner",
     "ScenarioWindow",
+    "StaticBudgetController",
     "StatisticalRunner",
+    "SubstreamObservation",
+    "VarianceAwareController",
+    "WindowObservation",
     "WindowOutcome",
     "WindowResult",
     "WindowedRoot",
     "accuracy_loss",
+    "make_budget_controller",
+    "observe_window",
 ]

@@ -13,6 +13,7 @@ from repro.topology.tree import LogicalTree, paper_tree
 __all__ = [
     "PipelineConfig",
     "ExecutionMode",
+    "BUDGET_CONTROLLERS",
     "DATA_PLANES",
     "TRANSPORTS",
     "TRANSPORT_AUTO",
@@ -45,6 +46,14 @@ TRANSPORTS = (TRANSPORT_AUTO, "inprocess", "broker", "simnet")
 #: the high-throughput plane). Seeded runs sample identical records on
 #: either plane.
 DATA_PLANES = ("objects", "columnar")
+
+#: Valid values of :attr:`PipelineConfig.budget_controller` — the
+#: per-window feedback loop of §IV-B (see :mod:`repro.system.adaptive`
+#: for the implementations): ``"static"`` (no feedback; the bit-exact
+#: default), ``"adaptive_fraction"`` (the multiplicative global-fraction
+#: controller run between windows) or ``"variance_aware"`` (Neyman
+#: reallocation of a fixed budget toward high-variance sub-streams).
+BUDGET_CONTROLLERS = ("static", "adaptive_fraction", "variance_aware")
 
 
 @dataclass(frozen=True)
@@ -92,6 +101,17 @@ class PipelineConfig:
             deterministic. The deployment simulator models
             distribution explicitly through simnet hosts/links and
             therefore ignores this knob.
+        budget_controller: The per-window feedback loop (§IV-B) the
+            statistical engine runs — one of
+            :data:`BUDGET_CONTROLLERS`. ``"static"`` (the default)
+            applies no feedback and leaves the engine bit-for-bit the
+            classic run; ``"adaptive_fraction"`` steers the global
+            sampling fraction on the reported error bound between
+            windows; ``"variance_aware"`` re-splits a fixed budget
+            toward high-variance sub-streams via Neyman weights read
+            from the previous window's root Theta. Sharded runs
+            broadcast the merged root observation so every shard
+            replays the identical controller decision.
     """
 
     sampling_fraction: float = 0.1
@@ -108,6 +128,7 @@ class PipelineConfig:
     transport: str = TRANSPORT_AUTO
     data_plane: str = "objects"
     workers: int = 1
+    budget_controller: str = "static"
 
     def __post_init__(self) -> None:
         if not 0.0 < self.sampling_fraction <= 1.0:
@@ -144,6 +165,11 @@ class PipelineConfig:
         if not isinstance(self.workers, int) or self.workers < 1:
             raise ConfigurationError(
                 f"workers must be an integer >= 1, got {self.workers!r}"
+            )
+        if self.budget_controller not in BUDGET_CONTROLLERS:
+            raise ConfigurationError(
+                f"budget_controller must be one of {BUDGET_CONTROLLERS}, "
+                f"got {self.budget_controller!r}"
             )
 
     @property
@@ -184,3 +210,7 @@ class PipelineConfig:
     def with_workers(self, workers: int) -> "PipelineConfig":
         """A copy of this config with a different worker-shard count."""
         return replace(self, workers=workers)
+
+    def with_budget_controller(self, controller: str) -> "PipelineConfig":
+        """A copy of this config under a different budget controller."""
+        return replace(self, budget_controller=controller)

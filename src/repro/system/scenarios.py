@@ -59,6 +59,9 @@ class ScenarioWindow:
         budget_utilisation: ``items_sampled`` over the steady-state
             root budget — >= 1 when bursts saturate the reservoir,
             < 1 when churn or loss starve it.
+        budget: The root's sample budget in effect for the window —
+            the budget controller's live decision, constant under
+            ``static``, a visible trace under adaptive controllers.
     """
 
     window: int
@@ -74,6 +77,7 @@ class ScenarioWindow:
     approxiot_loss: float
     srs_loss: float
     budget_utilisation: float
+    budget: int = 0
 
     @property
     def bound_pct(self) -> float:
@@ -137,8 +141,8 @@ class ScenarioOutcome:
             f"Scenario '{self.scenario.name}' — quality over time",
             [
                 "window", "load", "offline", "dropped", "emitted",
-                "sampled", "budget use", "loss", "bound", "in bound",
-                "srs loss",
+                "sampled", "budget", "budget use", "loss", "bound",
+                "in bound", "srs loss",
             ],
         )
         for w in self.windows:
@@ -149,6 +153,7 @@ class ScenarioOutcome:
                 w.items_dropped,
                 w.items_emitted,
                 w.items_sampled,
+                w.budget,
                 format_ratio(w.budget_utilisation),
                 format_percent(w.approxiot_loss, 3),
                 format_percent(w.bound_pct, 3),
@@ -283,6 +288,7 @@ class ScenarioRunner:
                 window.items_sampled / self._reference_budget
                 if self._reference_budget > 0 else 0.0
             ),
+            budget=window.sample_budget,
         )
 
     def close(self) -> None:

@@ -1,5 +1,7 @@
 """Integration tests for the adaptive feedback driver."""
 
+import math
+
 import pytest
 
 from repro.core.cost import AdaptiveErrorBudget
@@ -7,7 +9,7 @@ from repro.errors import PipelineError
 from repro.system.config import PipelineConfig
 from repro.system.feedback import FeedbackDriver
 from repro.workloads.rates import RateSchedule
-from repro.workloads.synthetic import paper_gaussian_substreams
+from repro.workloads.synthetic import GaussianSubstream, paper_gaussian_substreams
 
 GENS = {g.name: g for g in paper_gaussian_substreams()}
 SCHEDULE = RateSchedule(
@@ -50,6 +52,30 @@ class TestFeedback:
         early = sum(outcome.relative_errors[:3]) / 3
         late = sum(outcome.relative_errors[-3:]) / 3
         assert late < early
+
+    def test_zero_estimate_windows_hold_the_fraction(self):
+        """Regression: a zero estimate must not read as a perfect one.
+
+        Every window of an all-zero workload yields estimate 0, which
+        has no relative error. The driver used to record it as
+        ``relative_error = 0.0`` — "the estimate was perfect" — and
+        shrink the budget exactly when the system was blind. Now the
+        controller holds its fraction and the trace records ``nan``.
+        """
+        config = PipelineConfig(sampling_fraction=0.1, seed=11)
+        controller = AdaptiveErrorBudget(
+            0.05, initial_fraction=0.1, min_fraction=0.01
+        )
+        zero_gens = {
+            name: GaussianSubstream(name, mu=0.0, sigma=0.0)
+            for name in ("A", "B", "C", "D")
+        }
+        driver = FeedbackDriver(config, SCHEDULE, zero_gens, controller)
+        outcome = driver.run(5)
+        assert controller.fraction == 0.1
+        assert outcome.fractions == [0.1] * 5
+        assert len(outcome.relative_errors) == 5
+        assert all(math.isnan(e) for e in outcome.relative_errors)
 
     def test_zero_windows_rejected(self):
         driver, _ = make_driver(target=0.1, initial=0.1)

@@ -103,6 +103,44 @@ class TestWorkers:
         assert "Fig. 5" in capsys.readouterr().out
 
 
+class TestBudgetController:
+    def test_default_is_static(self):
+        for argv in (["figures"], ["scenarios", "run", "drift"]):
+            assert build_parser().parse_args(argv).budget_controller == (
+                "static"
+            )
+
+    def test_selection(self):
+        args = build_parser().parse_args(
+            ["scenarios", "run", "drift",
+             "--budget-controller", "variance_aware"]
+        )
+        assert args.budget_controller == "variance_aware"
+
+    def test_rejects_unknown_controller(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["figures", "--budget-controller", "oracle"]
+            )
+
+    def test_adaptive_scenario_run(self, capsys):
+        assert main(
+            ["scenarios", "run", "drift", "--scale", "quick",
+             "--windows", "4", "--backend", "python",
+             "--budget-controller", "variance_aware"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "quality over time" in out
+        assert "budget" in out
+
+    def test_adaptive_fraction_figure_run(self, capsys):
+        assert main(
+            ["figures", "fig5", "--scale", "quick",
+             "--budget-controller", "adaptive_fraction"]
+        ) == 0
+        assert "Fig. 5" in capsys.readouterr().out
+
+
 class TestScenarios:
     def test_parser_requires_subcommand(self):
         with pytest.raises(SystemExit):
