@@ -21,12 +21,18 @@ records sampled → same estimates).
 
 The module also publishes the worker-scaling table for sharded
 multi-process execution (1/2/4/8 shards over the columnar plane on the
-same workload). Throughput gates are host-aware — a single-core runner
-cannot speed up by adding processes, so the sharded >= 0.9x
-single-process smoke applies from 2 cores and the >= 2.5x-at-4-workers
-headline from 4 — while the accuracy gate (mean loss within the
-reported §III-D error bound, which Eq. 8's exact count recovery keeps
-tight) applies everywhere, at every worker count.
+same workload), with one row per shard transport where the host
+supports both: the classic pipe codec and the zero-copy shared-memory
+rings of :mod:`repro.engine.shm`, plus the measured bytes through the
+Pipe per window for each. Throughput gates are host-aware — a
+single-core runner cannot speed up by adding processes, so the sharded
+>= 0.9x single-process smoke applies from 2 cores and the >=
+2.5x-at-4-workers headline from 4, while shm must hold >= 0.9x pipe
+throughput at every width on any host — and the shm transport must cut
+bytes through the Pipe per window by >= 10x (descriptors only). The
+accuracy gate (mean loss within the reported §III-D error bound, which
+Eq. 8's exact count recovery keeps tight) applies everywhere, at every
+worker count and transport.
 """
 
 from __future__ import annotations
@@ -35,9 +41,12 @@ import os
 import time
 from dataclasses import dataclass
 
+import multiprocessing
+
 from repro.core.fastpath import numpy_available
+from repro.engine import shm as engine_shm
 from repro.experiments.base import ExperimentScale, uniform_schedule
-from repro.metrics.report import Table, format_rate
+from repro.metrics.report import Table, format_bytes, format_rate
 from repro.system.config import PipelineConfig
 from repro.system.statistical import StatisticalRunner
 from repro.workloads.synthetic import paper_gaussian_substreams
@@ -130,15 +139,26 @@ def main(scale: ExperimentScale | None = None) -> str:
 
 @dataclass(frozen=True, slots=True)
 class ScalingPoint:
-    """Measured behaviour of one worker-shard width."""
+    """Measured behaviour of one (worker-shard width, transport) pair.
+
+    ``transport`` is ``"-"`` on the single-process row (no shard IPC);
+    the byte counters are the per-window means from
+    :class:`~repro.engine.sharding.ShardIpcStats` (zero when there is
+    no shard IPC to account).
+    """
 
     workers: int
+    transport: str
     items_per_second: float
     mean_loss_percent: float
     mean_bound_percent: float
+    pipe_bytes_per_window: float
+    theta_bytes_per_window: float
 
 
-def _measure_workers(workers: int, scale: ExperimentScale) -> ScalingPoint:
+def _measure_workers(
+    workers: int, scale: ExperimentScale, transport: str = "pipe"
+) -> ScalingPoint:
     generators = {g.name: g for g in paper_gaussian_substreams()}
     schedule = uniform_schedule(scale.rate_scale)
     config = PipelineConfig(
@@ -148,6 +168,7 @@ def _measure_workers(workers: int, scale: ExperimentScale) -> ScalingPoint:
         transport="inprocess",
         data_plane="columnar",
         workers=workers,
+        shard_transport=transport,
     )
     best = 0.0
     loss = bound = 0.0
@@ -161,6 +182,7 @@ def _measure_workers(workers: int, scale: ExperimentScale) -> ScalingPoint:
     # smaller than a pipe round trip — that would gate IPC latency,
     # not scaling).
     windows = max(scale.windows, 10)
+    pipe_per_window = theta_per_window = 0.0
     with StatisticalRunner(config, schedule, generators) as runner:
         runner.run(1)  # warmup
         for _ in range(REPEATS):
@@ -178,12 +200,45 @@ def _measure_workers(workers: int, scale: ExperimentScale) -> ScalingPoint:
                 )
                 / len(run.windows)
             )
-    return ScalingPoint(workers, best, loss, bound)
+        if workers > 1:
+            # The sharded driver's IPC accounting, accumulated across
+            # warmup + every repeat — per-window means are exact.
+            stats = runner.engine.ipc_stats
+            transport = stats.transport
+            pipe_per_window = stats.pipe_bytes_per_window
+            theta_per_window = stats.theta_bytes_per_window
+        else:
+            transport = "-"  # single process: no shard IPC at all
+    return ScalingPoint(
+        workers, transport, best, loss, bound,
+        pipe_per_window, theta_per_window,
+    )
+
+
+def _shard_transports() -> list[str]:
+    """The shard transports this host can actually run (pipe always)."""
+    methods = multiprocessing.get_all_start_methods()
+    start_method = "fork" if "fork" in methods else "spawn"
+    transports = ["pipe"]
+    if engine_shm.resolve_shard_transport("auto", start_method) == "shm":
+        transports.append("shm")
+    return transports
 
 
 def run_worker_scaling(scale: ExperimentScale) -> list[ScalingPoint]:
-    """Throughput and accuracy of the sharded engine per shard width."""
-    return [_measure_workers(workers, scale) for workers in WORKER_COUNTS]
+    """Throughput, accuracy and IPC volume per (width, transport) pair.
+
+    The single-process baseline is measured once; every sharded width
+    is measured on each transport the host supports, so the published
+    table is the pipe-vs-shm comparison at every shard count.
+    """
+    points = [_measure_workers(1, scale)]
+    for workers in WORKER_COUNTS:
+        if workers == 1:
+            continue
+        for transport in _shard_transports():
+            points.append(_measure_workers(workers, scale, transport))
+    return points
 
 
 def render_scaling_table(points: list[ScalingPoint]) -> str:
@@ -192,18 +247,21 @@ def render_scaling_table(points: list[ScalingPoint]) -> str:
     table = Table(
         "Worker scaling: sharded engine, columnar plane (Fig. 6 "
         "workload, 10% fraction)",
-        ["workers", "host cores", "items/s", "speedup", "mean loss",
-         "error bound"],
+        ["workers", "transport", "host cores", "items/s", "speedup",
+         "mean loss", "error bound", "pipe bytes/window"],
     )
     baseline = points[0].items_per_second
     for point in points:
         table.add_row(
             str(point.workers),
+            point.transport,
             str(cores),
             format_rate(point.items_per_second),
             f"{point.items_per_second / baseline:.2f}x",
             f"{point.mean_loss_percent:.3f}%",
             f"{point.mean_bound_percent:.3f}%",
+            format_bytes(point.pipe_bytes_per_window)
+            if point.workers > 1 else "-",
         )
     return table.render()
 
@@ -242,13 +300,19 @@ def test_bench_worker_scaling(benchmark, bench_scale, results_sink):
 
     One measured sweep feeds the published table and the gates:
 
-    * accuracy, every width: Eq. 8 holds per shard, so the merged
-      estimate's mean loss must sit within the run's own reported
-      §III-D error bound — a sharding bug that broke weight or count
-      propagation would blow straight through it;
+    * accuracy, every width and transport: Eq. 8 holds per shard, so
+      the merged estimate's mean loss must sit within the run's own
+      reported §III-D error bound — a sharding bug that broke weight
+      or count propagation would blow straight through it;
     * throughput, host-aware: with >= 2 cores the 2-shard run must
       hold >= 0.9x the single-process rate (the CI smoke gate), and a
-      bench-scale run on >= 4 cores must reach >= 2.5x at 4 shards.
+      bench-scale run on >= 4 cores must reach >= 2.5x at 4 shards;
+      on any host (single-core included) the shm transport must hold
+      >= 0.9x the pipe transport's throughput at every width;
+    * IPC volume: where the host runs shm, each width's shm row must
+      move >= 10x fewer bytes through the Pipe per window than its
+      pipe row — the descriptors-only claim, measured not asserted
+      from design.
     """
     points = benchmark.pedantic(
         run_worker_scaling, args=(bench_scale,), rounds=1, iterations=1
@@ -257,18 +321,38 @@ def test_bench_worker_scaling(benchmark, bench_scale, results_sink):
     print(text)
     results_sink(text)
 
-    by_width = {point.workers: point for point in points}
+    by_key = {(point.workers, point.transport): point for point in points}
     for point in points:
         assert point.mean_loss_percent <= point.mean_bound_percent
     cores = os.cpu_count() or 1
     at_bench = os.environ.get("REPRO_BENCH_SCALE", "bench") == "bench"
+    baseline = by_key[(1, "-")]
+    sharded_widths = [width for width in WORKER_COUNTS if width > 1]
+    transports = _shard_transports()
     if cores >= 2:
-        assert (
-            by_width[2].items_per_second
-            >= 0.9 * by_width[1].items_per_second
-        )
+        for transport in transports:
+            assert (
+                by_key[(2, transport)].items_per_second
+                >= 0.9 * baseline.items_per_second
+            )
     if at_bench and cores >= 4:
-        assert (
-            by_width[4].items_per_second
-            >= 2.5 * by_width[1].items_per_second
-        )
+        for transport in transports:
+            assert (
+                by_key[(4, transport)].items_per_second
+                >= 2.5 * baseline.items_per_second
+            )
+    if "shm" in transports:
+        for width in sharded_widths:
+            pipe_point = by_key[(width, "pipe")]
+            shm_point = by_key[(width, "shm")]
+            # Host-aware perf gate: shm must never regress the pipe
+            # transport, even on a single core where neither scales.
+            assert (
+                shm_point.items_per_second
+                >= 0.9 * pipe_point.items_per_second
+            )
+            # The zero-copy claim: descriptors only through the Pipe.
+            assert (
+                pipe_point.pipe_bytes_per_window
+                >= 10.0 * shm_point.pipe_bytes_per_window
+            )

@@ -15,6 +15,15 @@ a per-record pickle graph. This is what the sharded execution engine
 ships between worker processes and what :class:`BrokerTransport` uses
 when given a serde, so cross-process transport cost scales with bytes,
 not with record count.
+
+The codec has a zero-copy-friendly surface for the shared-memory shard
+transport (:mod:`repro.engine.shm`): the ``*_chunks`` encoders return
+the raw byte chunks without joining them (each chunk lands in the
+shared segment with one copy, no intermediate buffer), and the
+decoders accept any bytes-like buffer — a ``memoryview`` over a shared
+segment decodes in place, with numpy ``frombuffer`` reading the column
+bytes straight off the shared pages before copying out into owned
+columns.
 """
 
 from __future__ import annotations
@@ -44,8 +53,10 @@ __all__ = [
     "PICKLE_SERDE",
     "COLUMNAR_SERDE",
     "encode_weighted_batch",
+    "encode_weighted_batch_chunks",
     "decode_weighted_batch",
     "encode_weighted_batches",
+    "encode_weighted_batches_chunks",
     "decode_weighted_batches",
 ]
 
@@ -142,10 +153,10 @@ def _pack_str(out: list[bytes], text: str) -> None:
     out.append(data)
 
 
-def _unpack_str(data: bytes, offset: int) -> tuple[str, int]:
+def _unpack_str(data, offset: int) -> tuple[str, int]:
     (length,) = struct.unpack_from("<I", data, offset)
     offset += 4
-    return data[offset : offset + length].decode(), offset + length
+    return bytes(data[offset : offset + length]).decode(), offset + length
 
 
 def _float_column_bytes(column) -> bytes:
@@ -174,8 +185,14 @@ def _float_column_from(data: bytes):
     return buf
 
 
-def encode_weighted_batch(batch: WeightedBatch) -> bytes:
-    """Serialize one ``(W_out, I)`` pair without per-record pickling.
+def encode_weighted_batch_chunks(batch: WeightedBatch) -> list[bytes]:
+    """One batch's wire bytes as a chunk list, without the final join.
+
+    The shared-memory shard transport writes each chunk straight into
+    its segment — one copy per column buffer, no intermediate joined
+    bytes object. Joining the chunks yields exactly
+    :func:`encode_weighted_batch`'s output, so the two paths are
+    bit-identical on the wire.
 
     Both data planes are supported: a columnar payload's columns are
     dumped as raw buffers directly; an object payload is transposed
@@ -213,11 +230,20 @@ def encode_weighted_batch(batch: WeightedBatch) -> bytes:
         out.append(sizes.tobytes())
     out.append(_float_column_bytes(columns.values))
     out.append(_float_column_bytes(columns.timestamps))
-    return b"".join(out)
+    return out
 
 
-def _decode_weighted_batch(data: bytes, offset: int) -> tuple[WeightedBatch, int]:
-    if data[offset : offset + 4] != _BATCH_MAGIC:
+def encode_weighted_batch(batch: WeightedBatch) -> bytes:
+    """Serialize one ``(W_out, I)`` pair without per-record pickling.
+
+    The joined form of :func:`encode_weighted_batch_chunks` — what the
+    pipe codec sends and what :data:`COLUMNAR_SERDE` produces.
+    """
+    return b"".join(encode_weighted_batch_chunks(batch))
+
+
+def _decode_weighted_batch(data, offset: int) -> tuple[WeightedBatch, int]:
+    if bytes(data[offset : offset + 4]) != _BATCH_MAGIC:
         raise ConfigurationError(
             "not a binary weighted batch (bad magic); was this record "
             "produced without the columnar serde?"
@@ -260,25 +286,44 @@ def _decode_weighted_batch(data: bytes, offset: int) -> tuple[WeightedBatch, int
     return WeightedBatch(substream, weight, columns.to_items()), offset
 
 
-def decode_weighted_batch(data: bytes) -> WeightedBatch:
-    """Inverse of :func:`encode_weighted_batch`."""
+def decode_weighted_batch(data) -> WeightedBatch:
+    """Inverse of :func:`encode_weighted_batch` (any bytes-like buffer)."""
     batch, _offset = _decode_weighted_batch(data, 0)
     return batch
+
+
+def encode_weighted_batches_chunks(batches: list[WeightedBatch]) -> list[bytes]:
+    """A whole Theta contribution's wire bytes as a chunk list.
+
+    The shared-memory framing: the sharded engine writes these chunks
+    directly into a shard's segment, so a window's column buffers are
+    copied exactly once on the encode side. Joining the chunks yields
+    exactly :func:`encode_weighted_batches`'s output.
+    """
+    out = [struct.pack("<I", len(batches))]
+    for batch in batches:
+        out.extend(encode_weighted_batch_chunks(batch))
+    return out
 
 
 def encode_weighted_batches(batches: list[WeightedBatch]) -> bytes:
     """Serialize a sequence of weighted batches into one message.
 
-    The framing the sharded engine ships per window: a shard's whole
-    Theta contribution crosses the process boundary as one buffer.
+    The framing the sharded engine's pipe codec ships per window: a
+    shard's whole Theta contribution crosses the process boundary as
+    one buffer.
     """
-    out = [struct.pack("<I", len(batches))]
-    out.extend(encode_weighted_batch(batch) for batch in batches)
-    return b"".join(out)
+    return b"".join(encode_weighted_batches_chunks(batches))
 
 
-def decode_weighted_batches(data: bytes) -> list[WeightedBatch]:
-    """Inverse of :func:`encode_weighted_batches`."""
+def decode_weighted_batches(data) -> list[WeightedBatch]:
+    """Inverse of :func:`encode_weighted_batches`.
+
+    Accepts any bytes-like buffer. Handing it a ``memoryview`` over a
+    shared-memory segment decodes in place — numpy reads each column
+    with one ``frombuffer`` view over the shared pages — and the
+    decoded batches copy out, never aliasing the buffer.
+    """
     (count,) = struct.unpack_from("<I", data, 0)
     offset = 4
     batches: list[WeightedBatch] = []

@@ -4,16 +4,17 @@ Commands:
 
 * ``figures [ids...] [--scale quick|bench] [--backend ...]
   [--transport ...] [--data-plane ...] [--workers N]
-  [--budget-controller ...]`` — regenerate the paper's evaluation
-  figures as text tables (all of them by default) on the selected
-  sampling backend, inter-node transport, data plane, worker-shard
-  count and per-window budget controller.
+  [--budget-controller ...] [--shard-transport ...]`` — regenerate the
+  paper's evaluation figures as text tables (all of them by default)
+  on the selected sampling backend, inter-node transport, data plane,
+  worker-shard count, per-window budget controller and shard IPC
+  plane.
 * ``scenarios run <name> [--windows N] [--fraction F] [--scale ...]
   [--backend ...] [--transport ...] [--data-plane ...] [--workers N]
-  [--budget-controller ...]`` — run a built-in dynamic-workload
-  scenario (bursts, skew drift, node churn, degraded links) and print
-  its per-window quality-over-time table, optionally with the §IV-B
-  feedback loop closed in-run.
+  [--budget-controller ...] [--shard-transport ...]`` — run a built-in
+  dynamic-workload scenario (bursts, skew drift, node churn, degraded
+  links) and print its per-window quality-over-time table, optionally
+  with the §IV-B feedback loop closed in-run.
 * ``scenarios list`` — list the built-in scenario catalog.
 * ``list`` — list the available figures with descriptions.
 * ``info`` — print the library version and subsystem inventory.
@@ -37,7 +38,12 @@ from repro.experiments.base import (
 )
 from repro.experiments.figures import FIGURES, run_figure
 from repro.scenarios.catalog import BUILTIN_SCENARIOS, get_scenario
-from repro.system.config import BUDGET_CONTROLLERS, DATA_PLANES, TRANSPORTS
+from repro.system.config import (
+    BUDGET_CONTROLLERS,
+    DATA_PLANES,
+    SHARD_TRANSPORTS,
+    TRANSPORTS,
+)
 from repro.system.scenarios import ScenarioRunner
 
 __all__ = ["build_parser", "main"]
@@ -106,6 +112,15 @@ def _add_engine_knobs(parser: argparse.ArgumentParser, *, transport_help: str,
              "static = no feedback; adaptive_fraction steers the global "
              "fraction on the reported bound; variance_aware re-splits a "
              "fixed budget toward high-variance sub-streams)",
+    )
+    parser.add_argument(
+        "--shard-transport",
+        choices=sorted(SHARD_TRANSPORTS),
+        default="auto",
+        help="shard IPC plane for --workers > 1 (default: auto — "
+             "per-shard shared-memory rings where fork + shared memory "
+             "are available, the pipe codec otherwise; results are "
+             "bit-identical on every transport)",
     )
 
 
@@ -188,6 +203,7 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_figures(
     ids: list[str], scale_name: str, backend: str, transport: str,
     data_plane: str, workers: int, budget_controller: str,
+    shard_transport: str,
 ) -> int:
     try:
         scale = replace(
@@ -197,6 +213,7 @@ def _cmd_figures(
             data_plane=data_plane,
             workers=workers,
             budget_controller=budget_controller,
+            shard_transport=shard_transport,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -222,6 +239,7 @@ def _cmd_scenarios_run(args: argparse.Namespace) -> int:
             data_plane=args.data_plane,
             workers=args.workers,
             budget_controller=args.budget_controller,
+            shard_transport=args.shard_transport,
         )
         config = base_config(args.fraction, scale)
         schedule = uniform_schedule(scale.rate_scale)
@@ -272,6 +290,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_figures(
                 args.ids, args.scale, args.backend, args.transport,
                 args.data_plane, args.workers, args.budget_controller,
+                args.shard_transport,
             )
         if args.command == "scenarios":
             if args.scenario_command == "run":

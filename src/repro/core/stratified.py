@@ -222,11 +222,23 @@ def allocate_weighted(
             if count <= shares[substream]
         }
         if satisfied:
-            for substream, count in satisfied.items():
+            progressed = False
+            for substream in sorted(satisfied):
+                count = satisfied[substream]
+                # A near-zero-weight stratum's share can round below
+                # its one-slot floor; satisfying the heavy strata in
+                # full would then spend the floors' budget and
+                # over-allocate. Only satisfy while every still-active
+                # stratum's floor stays fundable — the rounding branch
+                # below shaves the rest to conserve exactly.
+                if count > remaining - (len(active) - 1):
+                    continue
                 allocation[substream] = count
                 remaining -= count
                 del active[substream]
-            continue
+                progressed = True
+            if progressed:
+                continue
         # Every cap exceeds its weighted share: integerize the shares
         # (min 1 slot), largest fractional remainders absorbing the
         # leftover — each rounded share stays under its cap because

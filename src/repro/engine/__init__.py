@@ -13,6 +13,11 @@ The engine separates *what a run is* from *how it executes*:
   planner splits the rates into equal per-worker shares, each shard
   runs the loop in its own OS process, and per-shard Theta state is
   merged at the root (§III-E made physical).
+* :mod:`repro.engine.shm` is the sharded loop's zero-copy IPC plane:
+  per-shard shared-memory segments carry the Theta payload bytes while
+  only ``(sequence, offset, length)`` descriptors cross the Pipe
+  (``config.shard_transport``; falls back to the pipe codec wherever
+  shared memory or fork is unavailable).
 
 The public runners in :mod:`repro.system` are thin facades over this
 package: the :class:`~repro.system.statistical.StatisticalRunner`
@@ -30,7 +35,12 @@ from repro.engine.runner import (
     accuracy_loss,
     sample_interval,
 )
-from repro.engine.sharding import ShardPlan, ShardedEngineRunner, plan_shards
+from repro.engine.sharding import (
+    ShardIpcStats,
+    ShardPlan,
+    ShardedEngineRunner,
+    plan_shards,
+)
 from repro.engine.transport import (
     BrokerTransport,
     InProcessTransport,
@@ -47,6 +57,7 @@ __all__ = [
     "InProcessTransport",
     "Pipeline",
     "RunOutcome",
+    "ShardIpcStats",
     "ShardPlan",
     "ShardedEngineRunner",
     "SimnetBrokerTransport",

@@ -27,7 +27,17 @@ How a sharded run decomposes:
   root Theta contribution encoded with the compact binary batch codec
   (:func:`~repro.broker.records.encode_weighted_batches`) — whole
   column buffers cross the process boundary, never a pickle graph of
-  per-record objects.
+  per-record objects. *How* the codec frame crosses is the shard
+  transport (``config.shard_transport``): on the ``"shm"`` plane
+  (:mod:`repro.engine.shm`; the default where fork + shared memory
+  are available) the shard writes the frame into its own
+  shared-memory segment and only a ``(sequence, offset, length)``
+  descriptor rides the Pipe — payload bytes never transit the pipe —
+  while the ``"pipe"`` plane sends the joined frame bytes themselves.
+  Both planes decode to identical batches, so a run is bit-for-bit
+  the same on either; :attr:`ShardedEngineRunner.ipc_stats` accounts
+  encoded bytes, pipe bytes and serde wall time so the difference is
+  measurable, not vibes.
 * The parent merges positionally: exact sums, SRS Horvitz-Thompson
   estimates and item counts add across shards; Theta batches
   concatenate in shard order into one
@@ -60,14 +70,20 @@ from __future__ import annotations
 
 import copy
 import multiprocessing
+import pickle
 import random
+import time
 import traceback
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING
 
-from repro.broker.records import decode_weighted_batches, encode_weighted_batches
+from repro.broker.records import (
+    decode_weighted_batches,
+    encode_weighted_batches_chunks,
+)
 from repro.core.error_bounds import estimate_sum_with_error
 from repro.core.estimator import ThetaStore
+from repro.engine import shm
 from repro.engine.pipeline import build_pipeline
 from repro.engine.runner import (
     EngineRunner,
@@ -84,7 +100,7 @@ if TYPE_CHECKING:
     from repro.system.config import PipelineConfig
     from repro.workloads.source import ItemGenerator
 
-__all__ = ["ShardPlan", "ShardedEngineRunner", "plan_shards"]
+__all__ = ["ShardIpcStats", "ShardPlan", "ShardedEngineRunner", "plan_shards"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -130,12 +146,21 @@ def plan_shards(
 
 #: One window slot's result as it crosses the process boundary:
 #: ``(items_emitted, exact_sum, srs_sum, items_sampled, items_dropped,
-#: theta_blob, sample_budget)`` with ``theta_blob`` the codec-encoded
-#: Theta batches (``None`` for an empty window) and ``sample_budget``
-#: the shard root's budget in effect for the slot (the shard's budget
-#: controller decision). Plain tuple of primitives + bytes on purpose —
-#: the pipe never pickles a record object.
-_SlotResult = tuple[int, float, float, int, int, "bytes | None", int]
+#: theta_frame, sample_budget, theta_bytes, encode_seconds)``.
+#: ``theta_frame`` carries the codec-encoded Theta batches — ``None``
+#: for an empty window, the joined frame ``bytes`` on the pipe
+#: transport (and as the ring-overflow fallback), or a
+#: ``(sequence, offset, length)`` shared-memory descriptor on the shm
+#: transport, where the frame bytes live in the shard's segment and
+#: never transit the pipe. ``theta_bytes``/``encode_seconds`` are the
+#: shard-side serde accounting (frame size and encode wall time);
+#: ``sample_budget`` is the shard root's budget in effect for the slot
+#: (the shard's budget controller decision). Plain tuple of primitives
+#: + bytes on purpose — the pipe never pickles a record object.
+_SlotResult = tuple[
+    int, float, float, int, int,
+    "bytes | tuple[int, int, int] | None", int, int, float,
+]
 
 
 class _ShardState:
@@ -155,7 +180,12 @@ class _ShardState:
         config: "PipelineConfig",
         generators: "dict[str, ItemGenerator]",
         scenario: "Scenario | None" = None,
+        segment: "shm.ShardSegment | None" = None,
     ) -> None:
+        #: The shard's shared-memory segment (``None`` on the pipe
+        #: transport and in inline execution): Theta frames are written
+        #: into it directly and only descriptors cross the pipe.
+        self._segment = segment
         shard_config = replace(config, seed=plan.seed, workers=1)
         # Deep-copied so stateful generators (AR(1) levels, staging
         # buffers) evolve per shard and the caller's objects are never
@@ -200,8 +230,19 @@ class _ShardState:
                 # others emitting) must sum the live decision exactly.
                 pipeline = self._runner.pipeline
                 budget = pipeline.budget(pipeline.tree.root.name)
-                results.append((0, 0.0, 0.0, 0, 0, None, budget))
+                results.append((0, 0.0, 0.0, 0, 0, None, budget, 0, 0.0))
             else:
+                started = time.perf_counter()
+                chunks = encode_weighted_batches_chunks(theta.batches)
+                theta_bytes = sum(len(chunk) for chunk in chunks)
+                frame: "bytes | tuple[int, int, int] | None" = None
+                if self._segment is not None:
+                    # The zero-copy path: column buffers land in the
+                    # shared segment, the pipe carries a descriptor.
+                    frame = self._segment.write_frame(chunks, theta_bytes)
+                if frame is None:  # pipe transport, or ring overflow
+                    frame = b"".join(chunks)
+                encode_seconds = time.perf_counter() - started
                 results.append(
                     (
                         outcome.items_emitted,
@@ -209,43 +250,90 @@ class _ShardState:
                         outcome.srs_sum,
                         outcome.items_sampled,
                         outcome.items_dropped,
-                        encode_weighted_batches(theta.batches),
+                        frame,
                         outcome.sample_budget,
+                        theta_bytes,
+                        encode_seconds,
                     )
                 )
         return results
 
 
-def _shard_main(conn, plan, config, generators, scenario=None) -> None:
-    """Entry point of one shard process: serve run requests until close."""
+def _shard_main(
+    conn, plan, config, generators, scenario=None, segment_spec=None
+) -> None:
+    """Entry point of one shard process: serve run requests until close.
+
+    ``segment_spec`` (``None`` on the pipe transport) names the
+    shared-memory segment the parent created for this shard; the child
+    attaches it by name and detaches on exit — the parent side owns the
+    unlink.
+    """
+    segment = None
     try:
-        state = _ShardState(plan, config, generators, scenario)
+        if segment_spec is not None:
+            segment = shm.ShardSegment.attach(*segment_spec)
+        state = _ShardState(plan, config, generators, scenario, segment)
     except BaseException:  # noqa: BLE001 - must cross the pipe
         conn.send(("error", traceback.format_exc()))
         conn.close()
+        if segment is not None:
+            segment.release()
         return
     while True:
-        message = conn.recv()
+        try:
+            message = conn.recv()
+        except EOFError:  # parent vanished without a close handshake
+            break
         if message[0] == "close":
             break
         try:
-            observations = message[2] if len(message) > 2 else None
-            conn.send(("ok", state.run_slots(message[1], observations)))
+            _tag, windows, observations, sequence = message
+            if segment is not None:
+                segment.begin_round(sequence)
+                if observations is not None:
+                    # Broadcast observations ride the control region;
+                    # oversized ones arrive inline as a fallback.
+                    observations = [
+                        segment.unstash(entry)
+                        if shm.is_ctrl_frame(entry)
+                        else entry
+                        for entry in observations
+                    ]
+            conn.send(("ok", state.run_slots(windows, observations)))
         except BaseException:  # noqa: BLE001 - must cross the pipe
             conn.send(("error", traceback.format_exc()))
             break
     conn.close()
+    if segment is not None:
+        segment.release()
 
 
 class _ProcessShard:
-    """Parent-side handle to one persistent shard process."""
+    """Parent-side handle to one persistent shard process.
 
-    def __init__(self, context, plan, config, generators, scenario=None) -> None:
+    ``segment`` (``None`` on the pipe transport) is the shard's
+    shared-memory segment, created by the parent before the fork: the
+    parent stashes broadcast observations into its control region at
+    request time, resolves the shard's payload descriptors against it
+    at collect time, and unlinks it on :meth:`close` — including after
+    a mid-run shard failure, so no segment survives the runner.
+    """
+
+    def __init__(
+        self, context, plan, config, generators, scenario=None, *,
+        segment: "shm.ShardSegment | None" = None,
+    ) -> None:
         self.index = plan.index
+        self.segment = segment
+        self._sequence = 0
         self._conn, child = context.Pipe(duplex=True)
         self._process = context.Process(
             target=_shard_main,
-            args=(child, plan, config, generators, scenario),
+            args=(
+                child, plan, config, generators, scenario,
+                segment.spec if segment is not None else None,
+            ),
             name=f"repro-shard-{plan.index}",
             daemon=True,
         )
@@ -254,16 +342,35 @@ class _ProcessShard:
 
     def request(
         self, windows: int, observations: "list | None" = None
-    ) -> None:
+    ) -> int:
+        """Dispatch one round; returns how many broadcasts rode the ring."""
+        self._sequence += 1
+        stashed = 0
+        if self.segment is not None:
+            self.segment.begin_round(self._sequence)
+            if observations is not None:
+                resolved = []
+                for entry in observations:
+                    frame = (
+                        self.segment.stash(entry)
+                        if entry is not None
+                        else None
+                    )
+                    if frame is not None:
+                        stashed += 1
+                    resolved.append(frame if frame is not None else entry)
+                observations = resolved
         try:
-            self._conn.send(("run", windows, observations))
+            self._conn.send(("run", windows, observations, self._sequence))
         except (BrokenPipeError, OSError):
             raise PipelineError(
                 f"worker shard {self.index} is gone (did a previous "
                 f"window fail?); create a fresh runner"
             ) from None
+        return stashed
 
     def collect(self) -> list[_SlotResult]:
+        """Receive one round's slot results (raises on a dead shard)."""
         try:
             status, payload = self._conn.recv()
         except EOFError:
@@ -277,6 +384,7 @@ class _ProcessShard:
         return payload
 
     def close(self) -> None:
+        """Stop the process and unlink the shard's segment (if any)."""
         try:
             self._conn.send(("close",))
         except (BrokenPipeError, OSError):
@@ -286,10 +394,20 @@ class _ProcessShard:
         if self._process.is_alive():  # pragma: no cover - defensive
             self._process.terminate()
             self._process.join(timeout=5.0)
+        if self.segment is not None:
+            self.segment.release()
 
 
 class _InlineShard:
-    """Same protocol as :class:`_ProcessShard`, run in the caller."""
+    """Same protocol as :class:`_ProcessShard`, run in the caller.
+
+    Inline shards never cross a process boundary, so they carry no
+    shared-memory segment; Theta frames stay on the bytes path (the
+    codec round trip is kept for parity with process execution).
+    """
+
+    #: Inline shards have no shared-memory segment.
+    segment = None
 
     def __init__(self, plan, config, generators, scenario=None) -> None:
         self.index = plan.index
@@ -298,24 +416,83 @@ class _InlineShard:
 
     def request(
         self, windows: int, observations: "list | None" = None
-    ) -> None:
+    ) -> int:
+        """Run the round eagerly in-process (no broadcasts ride a ring)."""
         self._pending = self._state.run_slots(windows, observations)
+        return 0
 
     def collect(self) -> list[_SlotResult]:
+        """Hand back the eagerly computed round."""
         assert self._pending is not None
         pending, self._pending = self._pending, None
         return pending
 
     def close(self) -> None:
+        """Drop any uncollected round."""
         self._pending = None
 
 
 def _mp_context():
-    """The cheapest start method available (fork where the OS has it)."""
+    """The cheapest start method available, as ``(context, name)``.
+
+    Fork where the OS has it (cheap, Linux default), spawn otherwise.
+    The name feeds shard-transport resolution: shared memory engages
+    only under fork (see :func:`repro.engine.shm.resolve_shard_transport`).
+    """
     methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context(
-        "fork" if "fork" in methods else "spawn"
-    )
+    method = "fork" if "fork" in methods else "spawn"
+    return multiprocessing.get_context(method), method
+
+
+@dataclass
+class ShardIpcStats:
+    """Per-window IPC accounting for the shard transport.
+
+    Counters cover the Theta payload direction (shard → parent) plus
+    the adaptive broadcast direction (parent → shard), accumulated
+    across every window slot the runner has merged — so transport wins
+    are attributable numbers, not vibes. Inline execution counts its
+    codec frames as pipe bytes (what a process run would have sent).
+
+    Attributes:
+        transport: The resolved shard transport (``"pipe"``/``"shm"``).
+        windows: Window slots merged so far.
+        theta_bytes_encoded: Codec frame bytes produced by the shards
+            (the payload volume, wherever it physically travelled).
+        bytes_through_pipe: Bytes that actually crossed the Pipe for
+            Theta payloads — whole frames on the pipe transport,
+            pickled descriptors only on the shm transport.
+        encode_seconds: Shard-side serde wall time (encode + ring write).
+        decode_seconds: Parent-side serde wall time (decode).
+        ring_overflows: Slots whose frame outgrew the shared ring and
+            fell back to the pipe codec (shm transport only).
+        ring_broadcasts: Adaptive observations broadcast through the
+            control region instead of the pipe.
+    """
+
+    transport: str
+    windows: int = 0
+    theta_bytes_encoded: int = 0
+    bytes_through_pipe: int = 0
+    encode_seconds: float = 0.0
+    decode_seconds: float = 0.0
+    ring_overflows: int = 0
+    ring_broadcasts: int = 0
+
+    @property
+    def serde_seconds(self) -> float:
+        """Total serde wall time (shard-side encode + parent-side decode)."""
+        return self.encode_seconds + self.decode_seconds
+
+    @property
+    def theta_bytes_per_window(self) -> float:
+        """Mean codec payload bytes per merged window slot."""
+        return self.theta_bytes_encoded / self.windows if self.windows else 0.0
+
+    @property
+    def pipe_bytes_per_window(self) -> float:
+        """Mean bytes through the Pipe per merged window slot."""
+        return self.bytes_through_pipe / self.windows if self.windows else 0.0
 
 
 class ShardedEngineRunner:
@@ -341,6 +518,7 @@ class ShardedEngineRunner:
         *,
         inline: bool = False,
         scenario: "Scenario | None" = None,
+        ring_bytes: int | None = None,
     ) -> None:
         if config.transport == "simnet":
             raise ConfigurationError(
@@ -350,6 +528,20 @@ class ShardedEngineRunner:
         self._config = config
         self._plans = plan_shards(config, schedule)
         self._inline = inline or config.workers == 1
+        self._ring_bytes = (
+            ring_bytes if ring_bytes is not None else shm.DEFAULT_RING_BYTES
+        )
+        if self._inline:
+            # Inline shards share the caller's address space: there is
+            # no pipe to bypass, so the codec stays on the bytes path.
+            self._context = None
+            self._shard_transport = "pipe"
+        else:
+            self._context, start_method = _mp_context()
+            self._shard_transport = shm.resolve_shard_transport(
+                config.shard_transport, start_method
+            )
+        self._ipc = ShardIpcStats(transport=self._shard_transport)
         self._schedule = schedule
         self._generators = generators
         self._scenario = scenario
@@ -378,6 +570,27 @@ class ShardedEngineRunner:
         """Number of worker shards this runner drives."""
         return len(self._plans)
 
+    @property
+    def shard_transport(self) -> str:
+        """The resolved shard transport (``"pipe"`` or ``"shm"``)."""
+        return self._shard_transport
+
+    @property
+    def ipc_stats(self) -> ShardIpcStats:
+        """A snapshot of the runner's IPC accounting so far."""
+        return replace(self._ipc)
+
+    @property
+    def shm_segment_names(self) -> list[str]:
+        """Names of the live shared-memory segments (empty on pipe)."""
+        if self._shards is None:
+            return []
+        return [
+            shard.segment.name
+            for shard in self._shards
+            if shard.segment is not None
+        ]
+
     def _ensure_shards(self) -> "list[_ProcessShard | _InlineShard]":
         if self._failed:
             raise PipelineError(
@@ -393,13 +606,31 @@ class ShardedEngineRunner:
                     for plan in self._plans
                 ]
             else:
-                context = _mp_context()
+                segments: "list[shm.ShardSegment | None]"
+                if self._shard_transport == "shm":
+                    # One segment per shard, created before the fork so
+                    # the child inherits the mapping's name; released
+                    # on close() (or, worst case, by their finalizers).
+                    segments = []
+                    try:
+                        for _ in self._plans:
+                            segments.append(
+                                shm.ShardSegment.create(
+                                    ring_bytes=self._ring_bytes
+                                )
+                            )
+                    except BaseException:
+                        for segment in segments:
+                            segment.release()
+                        raise
+                else:
+                    segments = [None] * len(self._plans)
                 self._shards = [
                     _ProcessShard(
-                        context, plan, self._config, self._generators,
-                        self._scenario,
+                        self._context, plan, self._config, self._generators,
+                        self._scenario, segment=segment,
                     )
-                    for plan in self._plans
+                    for plan, segment in zip(self._plans, segments)
                 ]
         return self._shards
 
@@ -430,8 +661,17 @@ class ShardedEngineRunner:
         shards = self._ensure_shards()
         try:
             for shard in shards:  # all shards compute concurrently...
-                shard.request(windows)
-            per_shard = [shard.collect() for shard in shards]  # ...then sync
+                self._ipc.ring_broadcasts += shard.request(windows)
+            # ...then sync. Frames are decoded (copied out of the
+            # shared rings) here, before any next round could reset
+            # the ring cursors underneath the descriptors.
+            per_shard = [
+                [
+                    self._decode_slot_payload(shard, result)
+                    for result in shard.collect()
+                ]
+                for shard in shards
+            ]
         except PipelineError:
             # A failed round leaves shard clocks desynchronized (some
             # shards advanced, some died mid-window): reap everything
@@ -451,28 +691,68 @@ class ShardedEngineRunner:
         broadcast = [self._pending_observation]
         try:
             for shard in shards:
-                shard.request(1, broadcast)
-            per_shard = [shard.collect() for shard in shards]
+                self._ipc.ring_broadcasts += shard.request(1, broadcast)
+            per_shard = [
+                [
+                    self._decode_slot_payload(shard, result)
+                    for result in shard.collect()
+                ]
+                for shard in shards
+            ]
         except PipelineError:
             self._failed = True
             self.close()
             raise
         return self._merge_slot([results[0] for results in per_shard])
 
+    def _decode_slot_payload(
+        self, shard: "_ProcessShard | _InlineShard", result: _SlotResult
+    ) -> "tuple[_SlotResult, list | None]":
+        """Decode one slot's Theta frame, accounting the IPC cost.
+
+        Shared-memory descriptors resolve to a zero-copy view over the
+        shard's segment (the codec copies the columns out, so nothing
+        aliases the ring after decode); bytes frames are either the
+        pipe transport or a ring-overflow fallback. Returns the result
+        paired with its decoded batches (``None`` for an empty slot).
+        """
+        frame = result[5]
+        self._ipc.theta_bytes_encoded += result[7]
+        self._ipc.encode_seconds += result[8]
+        if frame is None:
+            return (result, None)
+        started = time.perf_counter()
+        if isinstance(frame, tuple):
+            # Only the pickled descriptor crossed the pipe.
+            self._ipc.bytes_through_pipe += len(pickle.dumps(frame))
+            view = shard.segment.read_frame(frame)
+            try:
+                batches = decode_weighted_batches(view)
+            finally:
+                view.release()
+        else:
+            self._ipc.bytes_through_pipe += len(frame)
+            if shard.segment is not None:  # shm shard fell back: overflow
+                self._ipc.ring_overflows += 1
+            batches = decode_weighted_batches(frame)
+        self._ipc.decode_seconds += time.perf_counter() - started
+        return (result, batches)
+
     def _merge_slot(
-        self, slot_results: list[_SlotResult]
+        self, slot_results: "list[tuple[_SlotResult, list | None]]"
     ) -> WindowOutcome | None:
         """Combine one window slot's per-shard results at the root."""
         self._windows_run += 1
-        items_emitted = sum(result[0] for result in slot_results)
+        self._ipc.windows += 1
+        items_emitted = sum(result[0] for result, _ in slot_results)
         if items_emitted == 0:
             if self._adaptive:
                 self._pending_observation = None  # empty window: hold
             return None
         theta = ThetaStore()
-        for result in slot_results:  # shard order == plan order
-            if result[5] is not None:
-                theta.extend(decode_weighted_batches(result[5]))
+        for _result, batches in slot_results:  # shard order == plan order
+            if batches is not None:
+                theta.extend(batches)
         if self._scenario is not None:
             # A scenario's degraded links can destroy every shard's
             # root-bound batches, leaving a non-empty window with an
@@ -491,13 +771,13 @@ class ShardedEngineRunner:
             )
         return WindowOutcome(
             window_index=self._windows_run,
-            exact_sum=sum(result[1] for result in slot_results),
+            exact_sum=sum(result[1] for result, _ in slot_results),
             approx_sum=approx,
-            srs_sum=sum(result[2] for result in slot_results),
+            srs_sum=sum(result[2] for result, _ in slot_results),
             items_emitted=items_emitted,
-            items_sampled=sum(result[3] for result in slot_results),
-            items_dropped=sum(result[4] for result in slot_results),
-            sample_budget=sum(result[6] for result in slot_results),
+            items_sampled=sum(result[3] for result, _ in slot_results),
+            items_dropped=sum(result[4] for result, _ in slot_results),
+            sample_budget=sum(result[6] for result, _ in slot_results),
         )
 
     def run_window(self) -> WindowOutcome | None:

@@ -58,6 +58,9 @@ class ExperimentScale:
             statistical runner uses (``"static"`` /
             ``"adaptive_fraction"`` / ``"variance_aware"``; see
             :attr:`repro.system.config.PipelineConfig.budget_controller`).
+        shard_transport: Shard IPC plane for sharded statistical runs
+            (``"auto"`` / ``"pipe"`` / ``"shm"``; see
+            :attr:`repro.system.config.PipelineConfig.shard_transport`).
     """
 
     rate_scale: float = 1.0
@@ -68,6 +71,7 @@ class ExperimentScale:
     data_plane: str = "objects"
     workers: int = 1
     budget_controller: str = "static"
+    shard_transport: str = "auto"
 
     def __post_init__(self) -> None:
         if self.rate_scale <= 0:
@@ -140,9 +144,9 @@ def base_config(fraction: float, scale: ExperimentScale,
     """A pipeline config with experiment-standard defaults.
 
     Threads the scale's seed, sampling backend, transport, data plane,
-    worker-shard count and budget controller into the config, so
-    ``python -m repro figures
-    --backend/--transport/--data-plane/--workers/--budget-controller``
+    worker-shard count, budget controller and shard transport into the
+    config, so ``python -m repro figures --backend/--transport/
+    --data-plane/--workers/--budget-controller/--shard-transport``
     reach every figure runner through one seam.
     """
     kwargs: dict[str, object] = {}
@@ -158,5 +162,6 @@ def base_config(fraction: float, scale: ExperimentScale,
         data_plane=scale.data_plane,
         workers=scale.workers,
         budget_controller=scale.budget_controller,
+        shard_transport=scale.shard_transport,
         **kwargs,
     )

@@ -8,7 +8,7 @@ bandwidth-saving rate of Fig. 7. Accuracy lives in
 the experiment harness.
 """
 
-from repro.metrics.report import Table, format_percent, format_rate
+from repro.metrics.report import Table, format_bytes, format_percent, format_rate
 from repro.simnet.stats import LatencyRecorder, bandwidth_saving
 from repro.system.statistical import accuracy_loss
 
@@ -17,6 +17,7 @@ __all__ = [
     "Table",
     "accuracy_loss",
     "bandwidth_saving",
+    "format_bytes",
     "format_percent",
     "format_rate",
 ]

@@ -11,7 +11,19 @@ from typing import Sequence
 
 from repro.errors import ReproError
 
-__all__ = ["Table", "format_rate", "format_percent", "format_ratio"]
+__all__ = ["Table", "format_bytes", "format_rate", "format_percent", "format_ratio"]
+
+
+def format_bytes(count: float) -> str:
+    """Render a byte count with a binary-prefix unit (``1.5 KiB`` style)."""
+    magnitude = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if magnitude < 1024 or unit == "GiB":
+            if unit == "B":
+                return f"{magnitude:.0f} B"
+            return f"{magnitude:.1f} {unit}"
+        magnitude /= 1024
+    raise AssertionError("unreachable")  # pragma: no cover
 
 
 def format_percent(value: float, digits: int = 4) -> str:

@@ -15,6 +15,7 @@ __all__ = [
     "ExecutionMode",
     "BUDGET_CONTROLLERS",
     "DATA_PLANES",
+    "SHARD_TRANSPORTS",
     "TRANSPORTS",
     "TRANSPORT_AUTO",
 ]
@@ -46,6 +47,16 @@ TRANSPORTS = (TRANSPORT_AUTO, "inprocess", "broker", "simnet")
 #: the high-throughput plane). Seeded runs sample identical records on
 #: either plane.
 DATA_PLANES = ("objects", "columnar")
+
+#: Valid values of :attr:`PipelineConfig.shard_transport` — how a
+#: worker shard's per-window Theta payload crosses the process
+#: boundary (see :mod:`repro.engine.shm`): ``"pipe"`` (codec frames
+#: through the multiprocessing Pipe), ``"shm"`` (frames written into a
+#: per-shard shared-memory ring; only descriptors cross the Pipe) or
+#: ``"auto"`` (the default; shm wherever fork + shared memory are
+#: available, pipe otherwise). Results are bit-identical on every
+#: transport — only the IPC cost differs.
+SHARD_TRANSPORTS = ("auto", "pipe", "shm")
 
 #: Valid values of :attr:`PipelineConfig.budget_controller` — the
 #: per-window feedback loop of §IV-B (see :mod:`repro.system.adaptive`
@@ -112,6 +123,15 @@ class PipelineConfig:
             from the previous window's root Theta. Sharded runs
             broadcast the merged root observation so every shard
             replays the identical controller decision.
+        shard_transport: How a worker shard's per-window Theta payload
+            crosses the process boundary — one of
+            :data:`SHARD_TRANSPORTS`. ``"auto"`` (the default) uses
+            per-shard shared-memory rings (:mod:`repro.engine.shm`)
+            wherever fork and shared memory are available and the pipe
+            codec otherwise; ``"shm"`` requests the rings explicitly
+            (same fallback); ``"pipe"`` forces the codec frames through
+            the Pipe. Bit-identical results on every transport;
+            irrelevant at ``workers == 1``.
     """
 
     sampling_fraction: float = 0.1
@@ -129,6 +149,7 @@ class PipelineConfig:
     data_plane: str = "objects"
     workers: int = 1
     budget_controller: str = "static"
+    shard_transport: str = "auto"
 
     def __post_init__(self) -> None:
         if not 0.0 < self.sampling_fraction <= 1.0:
@@ -170,6 +191,11 @@ class PipelineConfig:
             raise ConfigurationError(
                 f"budget_controller must be one of {BUDGET_CONTROLLERS}, "
                 f"got {self.budget_controller!r}"
+            )
+        if self.shard_transport not in SHARD_TRANSPORTS:
+            raise ConfigurationError(
+                f"shard_transport must be one of {SHARD_TRANSPORTS}, "
+                f"got {self.shard_transport!r}"
             )
 
     @property
@@ -214,3 +240,7 @@ class PipelineConfig:
     def with_budget_controller(self, controller: str) -> "PipelineConfig":
         """A copy of this config under a different budget controller."""
         return replace(self, budget_controller=controller)
+
+    def with_shard_transport(self, shard_transport: str) -> "PipelineConfig":
+        """A copy of this config on a different shard transport."""
+        return replace(self, shard_transport=shard_transport)

@@ -141,6 +141,47 @@ class TestBudgetController:
         assert "Fig. 5" in capsys.readouterr().out
 
 
+class TestShardTransport:
+    def test_default_is_auto(self):
+        for argv in (["figures"], ["scenarios", "run", "drift"]):
+            assert build_parser().parse_args(argv).shard_transport == "auto"
+
+    def test_selection(self):
+        args = build_parser().parse_args(
+            ["figures", "fig5", "--shard-transport", "shm"]
+        )
+        assert args.shard_transport == "shm"
+
+    def test_rejects_unknown_transport(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["figures", "--shard-transport", "carrier-pigeon"]
+            )
+
+    def test_sharded_figure_run_on_each_transport(self, capsys):
+        """fig5 regenerates identically on both shard IPC planes."""
+        assert main(
+            ["figures", "fig5", "--scale", "quick", "--workers", "2",
+             "--shard-transport", "pipe"]
+        ) == 0
+        pipe_out = capsys.readouterr().out
+        assert main(
+            ["figures", "fig5", "--scale", "quick", "--workers", "2",
+             "--shard-transport", "shm"]
+        ) == 0
+        shm_out = capsys.readouterr().out
+        assert "Fig. 5" in shm_out
+        assert shm_out == pipe_out
+
+    def test_sharded_scenario_run_on_shm(self, capsys):
+        assert main(
+            ["scenarios", "run", "flash-crowd", "--scale", "quick",
+             "--windows", "3", "--workers", "2",
+             "--shard-transport", "shm"]
+        ) == 0
+        assert "quality over time" in capsys.readouterr().out
+
+
 class TestScenarios:
     def test_parser_requires_subcommand(self):
         with pytest.raises(SystemExit):
