@@ -154,6 +154,7 @@ class ScalingPoint:
     mean_bound_percent: float
     pipe_bytes_per_window: float
     theta_bytes_per_window: float
+    restarts: int = 0
 
 
 def _measure_workers(
@@ -183,6 +184,7 @@ def _measure_workers(
     # not scaling).
     windows = max(scale.windows, 10)
     pipe_per_window = theta_per_window = 0.0
+    restarts = 0
     with StatisticalRunner(config, schedule, generators) as runner:
         runner.run(1)  # warmup
         for _ in range(REPEATS):
@@ -207,11 +209,12 @@ def _measure_workers(
             transport = stats.transport
             pipe_per_window = stats.pipe_bytes_per_window
             theta_per_window = stats.theta_bytes_per_window
+            restarts = stats.restarts
         else:
             transport = "-"  # single process: no shard IPC at all
     return ScalingPoint(
         workers, transport, best, loss, bound,
-        pipe_per_window, theta_per_window,
+        pipe_per_window, theta_per_window, restarts,
     )
 
 
@@ -248,7 +251,7 @@ def render_scaling_table(points: list[ScalingPoint]) -> str:
         "Worker scaling: sharded engine, columnar plane (Fig. 6 "
         "workload, 10% fraction)",
         ["workers", "transport", "host cores", "items/s", "speedup",
-         "mean loss", "error bound", "pipe bytes/window"],
+         "mean loss", "error bound", "pipe bytes/window", "restarts"],
     )
     baseline = points[0].items_per_second
     for point in points:
@@ -262,6 +265,7 @@ def render_scaling_table(points: list[ScalingPoint]) -> str:
             f"{point.mean_bound_percent:.3f}%",
             format_bytes(point.pipe_bytes_per_window)
             if point.workers > 1 else "-",
+            str(point.restarts) if point.workers > 1 else "-",
         )
     return table.render()
 

@@ -4,17 +4,20 @@ Commands:
 
 * ``figures [ids...] [--scale quick|bench] [--backend ...]
   [--transport ...] [--data-plane ...] [--workers N]
-  [--budget-controller ...] [--shard-transport ...]`` — regenerate the
-  paper's evaluation figures as text tables (all of them by default)
-  on the selected sampling backend, inter-node transport, data plane,
-  worker-shard count, per-window budget controller and shard IPC
-  plane.
+  [--budget-controller ...] [--shard-transport ...]
+  [--shard-timeout S] [--on-shard-loss ...] [--inject-fault SPEC]`` —
+  regenerate the paper's evaluation figures as text tables (all of
+  them by default) on the selected sampling backend, inter-node
+  transport, data plane, worker-shard count, per-window budget
+  controller, shard IPC plane and shard-supervision knobs (watchdog
+  deadline, loss policy, injected faults).
 * ``scenarios run <name> [--windows N] [--fraction F] [--scale ...]
   [--backend ...] [--transport ...] [--data-plane ...] [--workers N]
-  [--budget-controller ...] [--shard-transport ...]`` — run a built-in
-  dynamic-workload scenario (bursts, skew drift, node churn, degraded
-  links) and print its per-window quality-over-time table, optionally
-  with the §IV-B feedback loop closed in-run.
+  [--budget-controller ...] [--shard-transport ...]
+  [--shard-timeout S] [--on-shard-loss ...] [--inject-fault SPEC]`` —
+  run a built-in dynamic-workload scenario (bursts, skew drift, node
+  churn, degraded links) and print its per-window quality-over-time
+  table, optionally with the §IV-B feedback loop closed in-run.
 * ``scenarios list`` — list the built-in scenario catalog.
 * ``list`` — list the available figures with descriptions.
 * ``info`` — print the library version and subsystem inventory.
@@ -41,6 +44,7 @@ from repro.scenarios.catalog import BUILTIN_SCENARIOS, get_scenario
 from repro.system.config import (
     BUDGET_CONTROLLERS,
     DATA_PLANES,
+    SHARD_LOSS_POLICIES,
     SHARD_TRANSPORTS,
     TRANSPORTS,
 )
@@ -122,6 +126,34 @@ def _add_engine_knobs(parser: argparse.ArgumentParser, *, transport_help: str,
              "are available, the pipe codec otherwise; results are "
              "bit-identical on every transport)",
     )
+    parser.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="watchdog deadline in seconds per window slot for "
+             "--workers > 1 (default: none — wait forever); a hung "
+             "shard is diagnosed within the deadline and recovered by "
+             "respawn-and-replay",
+    )
+    parser.add_argument(
+        "--on-shard-loss",
+        choices=sorted(SHARD_LOSS_POLICIES),
+        default="abort",
+        help="policy once a worker shard exhausts its restart budget "
+             "(default: abort — fail the run loudly; degrade continues "
+             "on the surviving shards with per-window loss accounting)",
+    )
+    parser.add_argument(
+        "--inject-fault",
+        action="append",
+        default=None,
+        metavar="KIND@SHARD:WINDOW",
+        help="inject a deterministic fault into a worker shard for the "
+             "supervision harness, e.g. crash@0:1 (kinds: crash, hang, "
+             "raise, corrupt-descriptor; repeatable; requires "
+             "--workers > 1, and hang also needs --shard-timeout)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -200,25 +232,29 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_figures(
-    ids: list[str], scale_name: str, backend: str, transport: str,
-    data_plane: str, workers: int, budget_controller: str,
-    shard_transport: str,
-) -> int:
+def _scale_from_args(args: argparse.Namespace) -> ExperimentScale:
+    """The experiment sizing an engine-knob namespace selects."""
+    return replace(
+        _SCALES[args.scale](),
+        backend=args.backend,
+        transport=args.transport,
+        data_plane=args.data_plane,
+        workers=args.workers,
+        budget_controller=args.budget_controller,
+        shard_transport=args.shard_transport,
+        shard_timeout=args.shard_timeout,
+        on_shard_loss=args.on_shard_loss,
+        inject_faults=tuple(args.inject_fault or ()),
+    )
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
     try:
-        scale = replace(
-            _SCALES[scale_name](),
-            backend=backend,
-            transport=transport,
-            data_plane=data_plane,
-            workers=workers,
-            budget_controller=budget_controller,
-            shard_transport=shard_transport,
-        )
+        scale = _scale_from_args(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    targets = ids or sorted(FIGURES)
+    targets = args.ids or sorted(FIGURES)
     for figure_id in targets:
         try:
             run_figure(figure_id, scale)
@@ -232,15 +268,7 @@ def _cmd_figures(
 def _cmd_scenarios_run(args: argparse.Namespace) -> int:
     try:
         scenario = get_scenario(args.name)
-        scale = replace(
-            _SCALES[args.scale](),
-            backend=args.backend,
-            transport=args.transport,
-            data_plane=args.data_plane,
-            workers=args.workers,
-            budget_controller=args.budget_controller,
-            shard_transport=args.shard_transport,
-        )
+        scale = _scale_from_args(args)
         config = base_config(args.fraction, scale)
         schedule = uniform_schedule(scale.rate_scale)
         with ScenarioRunner(
@@ -287,11 +315,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         if args.command == "figures":
-            return _cmd_figures(
-                args.ids, args.scale, args.backend, args.transport,
-                args.data_plane, args.workers, args.budget_controller,
-                args.shard_transport,
-            )
+            return _cmd_figures(args)
         if args.command == "scenarios":
             if args.scenario_command == "run":
                 return _cmd_scenarios_run(args)

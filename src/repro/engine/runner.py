@@ -79,6 +79,12 @@ class WindowOutcome:
         sample_budget: The root's per-interval sample budget in effect
             for this window — the budget controller's live decision
             (0 only in legacy constructions that predate controllers).
+        shards_lost: Worker shards missing from this window's merge
+            (non-zero only in sharded runs degrading after shard loss
+            under ``on_shard_loss="degrade"``). The lost shards'
+            expected items are counted into ``items_dropped`` and the
+            error bound is recomputed from the surviving Theta — the
+            estimate stays honest about what it no longer covers.
     """
 
     window_index: int
@@ -89,6 +95,7 @@ class WindowOutcome:
     items_sampled: int
     items_dropped: int = 0
     sample_budget: int = 0
+    shards_lost: int = 0
 
     @property
     def approxiot_loss(self) -> float:

@@ -64,6 +64,24 @@ identical under either — and under ``inline=True``, which runs the
 shards sequentially in-process for debugging and for parity tests —
 because every shard rebuilds its state from the plan alone (the
 caller's generators are deep-copied per shard, never mutated).
+
+Shard processes are also *supervised*. Each request/collect round runs
+under a watchdog (``config.shard_timeout``; a hung shard raises
+:class:`~repro.errors.ShardTimeoutError` instead of blocking forever)
+and a crashed, hung or corrupt-framed shard is recovered by
+**respawn-and-replay**: because a shard is a pure function of its
+:class:`ShardPlan` plus the sequence of ``(windows, observations)``
+requests it has served, the supervisor can spawn a replacement from
+the same plan, fast-forward it through every completed window
+(rebroadcasting the recorded per-window observations on adaptive
+runs), and retry the failed round — the recovered run is bit-for-bit
+identical to an unfaulted one. When a shard exhausts its
+``config.max_shard_restarts`` budget the run either aborts loudly
+(default) or, under ``on_shard_loss="degrade"``, continues on the
+surviving shards with honest accounting (see
+:meth:`ShardedEngineRunner` and ``WindowOutcome.shards_lost``). The
+deterministic fault-injection harness in :mod:`repro.engine.faults`
+exercises every one of these paths.
 """
 
 from __future__ import annotations
@@ -83,6 +101,7 @@ from repro.broker.records import (
 )
 from repro.core.error_bounds import estimate_sum_with_error
 from repro.core.estimator import ThetaStore
+from repro.engine import faults as fault_injection
 from repro.engine import shm
 from repro.engine.pipeline import build_pipeline
 from repro.engine.runner import (
@@ -92,7 +111,7 @@ from repro.engine.runner import (
     _estimate_window,
 )
 from repro.engine.transport import make_statistical_transport
-from repro.errors import ConfigurationError, PipelineError
+from repro.errors import ConfigurationError, PipelineError, ShardTimeoutError
 from repro.workloads.rates import RateSchedule
 
 if TYPE_CHECKING:
@@ -181,12 +200,25 @@ class _ShardState:
         generators: "dict[str, ItemGenerator]",
         scenario: "Scenario | None" = None,
         segment: "shm.ShardSegment | None" = None,
+        armed_faults: "tuple[fault_injection.FaultSpec, ...]" = (),
     ) -> None:
         #: The shard's shared-memory segment (``None`` on the pipe
         #: transport and in inline execution): Theta frames are written
         #: into it directly and only descriptors cross the pipe.
         self._segment = segment
-        shard_config = replace(config, seed=plan.seed, workers=1)
+        #: Injected faults still armed for this shard, keyed by the
+        #: absolute window slot they fire at. The supervisor passes a
+        #: respawned shard only the faults targeting windows *after*
+        #: the recovered round, so replay never re-detonates.
+        self._armed_faults = {spec.window: spec for spec in armed_faults}
+        #: Absolute window slots this engine has run (replay included) —
+        #: the coordinate injected faults are targeted at.
+        self._slots_done = 0
+        # The child's engine must not re-validate (or re-arm) the fault
+        # plan: faults are delivered explicitly via ``armed_faults``.
+        shard_config = replace(
+            config, seed=plan.seed, workers=1, fault_plan=None
+        )
         # Deep-copied so stateful generators (AR(1) levels, staging
         # buffers) evolve per shard and the caller's objects are never
         # mutated — inline and multi-process execution then agree.
@@ -222,6 +254,13 @@ class _ShardState:
         """
         results: list[_SlotResult] = []
         for slot in range(windows):
+            fault = self._armed_faults.pop(self._slots_done, None)
+            self._slots_done += 1
+            if (
+                fault is not None
+                and fault.kind != fault_injection.CORRUPT_DESCRIPTOR
+            ):
+                fault_injection.fire(fault)  # crash/hang never return
             if observations is not None and observations[slot] is not None:
                 self._runner.apply_observation(observations[slot])
             outcome, theta = self._runner.run_window_with_theta()
@@ -242,6 +281,8 @@ class _ShardState:
                     frame = self._segment.write_frame(chunks, theta_bytes)
                 if frame is None:  # pipe transport, or ring overflow
                     frame = b"".join(chunks)
+                if fault is not None:  # corrupt-descriptor fault
+                    frame = fault_injection.corrupt_frame(frame)
                 encode_seconds = time.perf_counter() - started
                 results.append(
                     (
@@ -259,54 +300,74 @@ class _ShardState:
         return results
 
 
+def _report_error(conn) -> None:
+    """Best-effort error send: a vanished parent must not mask cleanup."""
+    try:
+        conn.send(("error", traceback.format_exc()))
+    except (BrokenPipeError, OSError):  # parent already gone
+        pass
+
+
 def _shard_main(
-    conn, plan, config, generators, scenario=None, segment_spec=None
+    conn, plan, config, generators, scenario=None, segment_spec=None,
+    armed_faults=(),
 ) -> None:
     """Entry point of one shard process: serve run requests until close.
 
     ``segment_spec`` (``None`` on the pipe transport) names the
     shared-memory segment the parent created for this shard; the child
     attaches it by name and detaches on exit — the parent side owns the
-    unlink.
+    unlink. ``armed_faults`` are the injected
+    :class:`~repro.engine.faults.FaultSpec`\\ s still live for this
+    shard (the supervisor disarms recovered ones before a respawn).
+
+    The serve loop runs under ``try/finally`` so the child always
+    detaches its pipe end and segment on the way out — even when the
+    error report itself fails because the parent is already gone. (A
+    SIGKILLed child never gets here at all; that is fine, because the
+    parent side owns the segment unlink.)
     """
     segment = None
     try:
-        if segment_spec is not None:
-            segment = shm.ShardSegment.attach(*segment_spec)
-        state = _ShardState(plan, config, generators, scenario, segment)
-    except BaseException:  # noqa: BLE001 - must cross the pipe
-        conn.send(("error", traceback.format_exc()))
-        conn.close()
-        if segment is not None:
-            segment.release()
-        return
-    while True:
         try:
-            message = conn.recv()
-        except EOFError:  # parent vanished without a close handshake
-            break
-        if message[0] == "close":
-            break
-        try:
-            _tag, windows, observations, sequence = message
-            if segment is not None:
-                segment.begin_round(sequence)
-                if observations is not None:
-                    # Broadcast observations ride the control region;
-                    # oversized ones arrive inline as a fallback.
-                    observations = [
-                        segment.unstash(entry)
-                        if shm.is_ctrl_frame(entry)
-                        else entry
-                        for entry in observations
-                    ]
-            conn.send(("ok", state.run_slots(windows, observations)))
+            if segment_spec is not None:
+                segment = shm.ShardSegment.attach(*segment_spec)
+            state = _ShardState(
+                plan, config, generators, scenario, segment, armed_faults
+            )
         except BaseException:  # noqa: BLE001 - must cross the pipe
-            conn.send(("error", traceback.format_exc()))
-            break
-    conn.close()
-    if segment is not None:
-        segment.release()
+            _report_error(conn)
+            return
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:  # parent vanished without a close handshake
+                break
+            if message[0] == "close":
+                break
+            try:
+                _tag, windows, observations, sequence = message
+                if segment is not None:
+                    segment.begin_round(sequence)
+                    if observations is not None:
+                        # Broadcast observations ride the control region;
+                        # oversized ones arrive inline as a fallback.
+                        observations = [
+                            segment.unstash(entry)
+                            if shm.is_ctrl_frame(entry)
+                            else entry
+                            for entry in observations
+                        ]
+                conn.send(("ok", state.run_slots(windows, observations)))
+            except BaseException:  # noqa: BLE001 - must cross the pipe
+                _report_error(conn)
+                break
+    finally:
+        try:
+            conn.close()
+        finally:
+            if segment is not None:
+                segment.release()
 
 
 class _ProcessShard:
@@ -323,16 +384,19 @@ class _ProcessShard:
     def __init__(
         self, context, plan, config, generators, scenario=None, *,
         segment: "shm.ShardSegment | None" = None,
+        armed_faults: "tuple[fault_injection.FaultSpec, ...]" = (),
     ) -> None:
         self.index = plan.index
         self.segment = segment
         self._sequence = 0
+        self._closed = False
         self._conn, child = context.Pipe(duplex=True)
         self._process = context.Process(
             target=_shard_main,
             args=(
                 child, plan, config, generators, scenario,
                 segment.spec if segment is not None else None,
+                armed_faults,
             ),
             name=f"repro-shard-{plan.index}",
             daemon=True,
@@ -369,8 +433,20 @@ class _ProcessShard:
             ) from None
         return stashed
 
-    def collect(self) -> list[_SlotResult]:
-        """Receive one round's slot results (raises on a dead shard)."""
+    def collect(self, timeout: float | None = None) -> list[_SlotResult]:
+        """Receive one round's slot results (raises on a dead shard).
+
+        ``timeout`` (seconds; ``None`` blocks forever) is the watchdog
+        deadline: a shard that has neither answered nor died within it
+        raises :class:`~repro.errors.ShardTimeoutError` — ``poll``
+        also wakes on EOF, so a crashed shard is diagnosed as dead (not
+        as hung) no matter the deadline.
+        """
+        if timeout is not None and not self._conn.poll(timeout):
+            raise ShardTimeoutError(
+                f"worker shard {self.index} missed its {timeout:.3g}s "
+                f"watchdog deadline (hung or stalled)"
+            )
         try:
             status, payload = self._conn.recv()
         except EOFError:
@@ -383,19 +459,46 @@ class _ProcessShard:
             )
         return payload
 
-    def close(self) -> None:
-        """Stop the process and unlink the shard's segment (if any)."""
+    def _reap_process(self, handshake: bool) -> None:
+        """Shared teardown: pipe, process (escalating), then segment.
+
+        Escalation order ``join → terminate → kill``: a healthy child
+        exits on the close handshake, a wedged one is SIGTERMed, and a
+        child that survives even that (blocked in uninterruptible I/O)
+        is SIGKILLed rather than abandoned alive as a zombie-to-be.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if handshake:
+            try:
+                self._conn.send(("close",))
+            except (BrokenPipeError, OSError):
+                pass
         try:
-            self._conn.send(("close",))
-        except (BrokenPipeError, OSError):
+            self._conn.close()
+        except OSError:  # pragma: no cover - defensive
             pass
-        self._conn.close()
-        self._process.join(timeout=5.0)
-        if self._process.is_alive():  # pragma: no cover - defensive
+        if handshake:
+            self._process.join(timeout=5.0)
+        if self._process.is_alive():
             self._process.terminate()
+            self._process.join(timeout=5.0)
+        if self._process.is_alive():  # pragma: no cover - stuck child
+            self._process.kill()
             self._process.join(timeout=5.0)
         if self.segment is not None:
             self.segment.release()
+            self.segment = None
+
+    def close(self) -> None:
+        """Stop the process and unlink the shard's segment (idempotent)."""
+        self._reap_process(handshake=True)
+
+    def reap(self) -> None:
+        """Hard teardown of a failed shard: no handshake, straight to
+        terminate/kill (a crashed or hung shard cannot answer one)."""
+        self._reap_process(handshake=False)
 
 
 class _InlineShard:
@@ -421,8 +524,13 @@ class _InlineShard:
         self._pending = self._state.run_slots(windows, observations)
         return 0
 
-    def collect(self) -> list[_SlotResult]:
-        """Hand back the eagerly computed round."""
+    def collect(self, timeout: float | None = None) -> list[_SlotResult]:
+        """Hand back the eagerly computed round.
+
+        ``timeout`` is accepted for protocol parity and ignored: the
+        round already ran to completion inside :meth:`request`, so an
+        inline shard can never be caught hung.
+        """
         assert self._pending is not None
         pending, self._pending = self._pending, None
         return pending
@@ -430,6 +538,9 @@ class _InlineShard:
     def close(self) -> None:
         """Drop any uncollected round."""
         self._pending = None
+
+    #: Inline shards have no process to escalate on; reap == close.
+    reap = close
 
 
 def _mp_context():
@@ -468,6 +579,14 @@ class ShardIpcStats:
             fell back to the pipe codec (shm transport only).
         ring_broadcasts: Adaptive observations broadcast through the
             control region instead of the pipe.
+        restarts: Shard processes respawned by the supervisor after a
+            crash, hang or corrupt frame (0 in a healthy run).
+        timeouts: Rounds a shard missed its watchdog deadline
+            (``config.shard_timeout``) on — each such miss is treated
+            like a crash and drives a restart.
+        replayed_windows: Window slots fast-forwarded through on
+            respawned shards to rebuild their deterministic state —
+            the recovery work amplification, measurable not vibes.
     """
 
     transport: str
@@ -478,6 +597,9 @@ class ShardIpcStats:
     decode_seconds: float = 0.0
     ring_overflows: int = 0
     ring_broadcasts: int = 0
+    restarts: int = 0
+    timeouts: int = 0
+    replayed_windows: int = 0
 
     @property
     def serde_seconds(self) -> float:
@@ -508,6 +630,19 @@ class ShardedEngineRunner:
     the calling process: identical results (the plan alone determines
     each shard's entropy), no parallelism — the debugging and
     parity-testing mode.
+
+    The runner is also the shard *supervisor* (process mode only;
+    inline shards cannot crash apart from the caller). Per round it
+    classifies failures — watchdog timeout, process death, corrupt
+    frame — and recovers by respawn-and-replay within
+    ``config.max_shard_restarts`` per shard; a shard whose frames
+    decoded corrupt is respawned *without* a shared-memory segment
+    (degraded to the pipe codec), so a poisoned ring is never trusted
+    again. Exhausted budgets follow ``config.on_shard_loss``: abort
+    loudly, or degrade onto the surviving shards with per-window loss
+    accounting. ``backoff_seconds`` scales the exponential backoff
+    between respawn attempts (a test seam; the delay for attempt ``k``
+    is ``min(2.0, backoff_seconds * 2**k)``).
     """
 
     def __init__(
@@ -519,6 +654,7 @@ class ShardedEngineRunner:
         inline: bool = False,
         scenario: "Scenario | None" = None,
         ring_bytes: int | None = None,
+        backoff_seconds: float = 0.05,
     ) -> None:
         if config.transport == "simnet":
             raise ConfigurationError(
@@ -528,6 +664,25 @@ class ShardedEngineRunner:
         self._config = config
         self._plans = plan_shards(config, schedule)
         self._inline = inline or config.workers == 1
+        fault_plan: "fault_injection.FaultPlan | None" = config.fault_plan
+        if fault_plan is not None and fault_plan:
+            if self._inline:
+                raise ConfigurationError(
+                    "fault injection targets worker shard processes; "
+                    "inline and single-worker execution have no process "
+                    "to kill — use workers > 1 without inline=True"
+                )
+            if fault_plan.max_shard() >= config.workers:
+                raise ConfigurationError(
+                    f"fault plan targets shard {fault_plan.max_shard()} "
+                    f"but the run only has {config.workers} workers"
+                )
+            if fault_plan.needs_watchdog and config.shard_timeout is None:
+                raise ConfigurationError(
+                    "the fault plan injects a hang, which only the "
+                    "watchdog can detect; set config.shard_timeout "
+                    "(--shard-timeout)"
+                )
         self._ring_bytes = (
             ring_bytes if ring_bytes is not None else shm.DEFAULT_RING_BYTES
         )
@@ -561,6 +716,31 @@ class ShardedEngineRunner:
         #: window N+1, persisting across run() calls like shard clocks.
         self._adaptive = config.budget_controller != "static"
         self._pending_observation = None
+        # --- supervision state -----------------------------------------
+        self._backoff_seconds = backoff_seconds
+        #: Respawns consumed per shard (bounded by max_shard_restarts).
+        self._restart_counts = [0] * len(self._plans)
+        #: First still-armed fault window per shard: respawns receive
+        #: only faults at windows >= this, so a recovered round's fault
+        #: never re-detonates in the replacement.
+        self._armed_from = [0] * len(self._plans)
+        #: Shards declared lost under on_shard_loss="degrade"; their
+        #: slots are skipped by every later round and accounted in the
+        #: merge (items_dropped, shards_lost).
+        self._lost: set[int] = set()
+        #: Shards degraded to the pipe codec after a corrupt frame —
+        #: their replacements never get a shared-memory segment again.
+        self._pipe_degraded: set[int] = set()
+        #: Steady-state items each shard contributes per window — the
+        #: honest stand-in for a lost shard's unobservable emissions.
+        self._expected_items = [
+            int(round(plan.schedule.total_rate * config.window_seconds))
+            for plan in self._plans
+        ]
+        #: Per-completed-window broadcast observations (adaptive runs
+        #: only): the replay tape a respawned shard is fast-forwarded
+        #: with. Entry i is what every shard applied before slot i.
+        self._observation_log: list = []
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -629,10 +809,23 @@ class ShardedEngineRunner:
                     _ProcessShard(
                         self._context, plan, self._config, self._generators,
                         self._scenario, segment=segment,
+                        armed_faults=self._armed_faults(plan.index),
                     )
                     for plan, segment in zip(self._plans, segments)
                 ]
         return self._shards
+
+    def _armed_faults(
+        self, index: int
+    ) -> "tuple[fault_injection.FaultSpec, ...]":
+        """The injected faults still live for one shard (window order)."""
+        plan: "fault_injection.FaultPlan | None" = self._config.fault_plan
+        if plan is None:
+            return ()
+        start = self._armed_from[index]
+        return tuple(
+            spec for spec in plan.for_shard(index) if spec.window >= start
+        )
 
     def close(self) -> None:
         """Stop the shard processes (idempotent)."""
@@ -658,52 +851,245 @@ class ShardedEngineRunner:
             # the next window samples. One request/collect round per
             # window, the broadcast riding the request.
             return [self._run_adaptive_slot() for _ in range(windows)]
-        shards = self._ensure_shards()
-        try:
-            for shard in shards:  # all shards compute concurrently...
-                self._ipc.ring_broadcasts += shard.request(windows)
-            # ...then sync. Frames are decoded (copied out of the
-            # shared rings) here, before any next round could reset
-            # the ring cursors underneath the descriptors.
-            per_shard = [
-                [
-                    self._decode_slot_payload(shard, result)
-                    for result in shard.collect()
-                ]
-                for shard in shards
-            ]
-        except PipelineError:
-            # A failed round leaves shard clocks desynchronized (some
-            # shards advanced, some died mid-window): reap everything
-            # and refuse reuse, so a retry fails loudly instead of
-            # merging skewed state or silently restarting from scratch.
-            self._failed = True
-            self.close()
-            raise
+        per_shard = self._run_round(windows, None)
         return [
-            self._merge_slot([results[slot] for results in per_shard])
+            self._merge_slot(
+                [
+                    results[slot]
+                    for results in per_shard
+                    if results is not None
+                ]
+            )
             for slot in range(windows)
         ]
 
     def _run_adaptive_slot(self) -> WindowOutcome | None:
         """One window under feedback: broadcast, run, merge, observe."""
+        # Record the broadcast *before* the round: entry i of the log
+        # is what every shard applied before slot i, which is exactly
+        # the replay tape a respawned shard must be fed.
+        self._observation_log.append(self._pending_observation)
+        per_shard = self._run_round(1, [self._pending_observation])
+        return self._merge_slot(
+            [results[0] for results in per_shard if results is not None]
+        )
+
+    # ------------------------------------------------------------------
+    # Supervision
+    # ------------------------------------------------------------------
+    def _round_timeout(self, windows: int) -> float | None:
+        """The watchdog deadline for one round (``None`` = no watchdog).
+
+        ``config.shard_timeout`` is *per window slot*; a static round
+        batches many slots into one request, so the round deadline
+        scales with the request size.
+        """
+        if self._config.shard_timeout is None:
+            return None
+        return self._config.shard_timeout * max(1, windows)
+
+    def _run_round(
+        self, windows: int, observations: "list | None"
+    ) -> "list[list | None]":
+        """One supervised request/collect round across all live shards.
+
+        Returns one decoded slot-result list per shard, positionally;
+        ``None`` marks a shard lost (this round or earlier) under the
+        degrade policy. Failures are classified per shard — watchdog
+        ``"timeout"``, process ``"crash"`` (EOF, shard-reported error,
+        failed dispatch), ``"corrupt"`` frame (decode failure) — and
+        recovered by :meth:`_recover_shard`; surviving shards' results
+        are kept, so one bad shard never discards its peers' round.
+        """
         shards = self._ensure_shards()
-        broadcast = [self._pending_observation]
-        try:
-            for shard in shards:
-                self._ipc.ring_broadcasts += shard.request(1, broadcast)
-            per_shard = [
-                [
-                    self._decode_slot_payload(shard, result)
-                    for result in shard.collect()
+        if self._inline:
+            # Inline shards run in the caller's process: there is no
+            # process to watch, kill or respawn, so failure keeps the
+            # fail-stop contract — reap everything and refuse reuse,
+            # so a retry fails loudly instead of merging skewed state.
+            try:
+                for shard in shards:
+                    self._ipc.ring_broadcasts += shard.request(
+                        windows, observations
+                    )
+                return [
+                    [
+                        self._decode_slot_payload(shard, result)
+                        for result in shard.collect()
+                    ]
+                    for shard in shards
                 ]
-                for shard in shards
-            ]
-        except PipelineError:
-            self._failed = True
-            self.close()
-            raise
-        return self._merge_slot([results[0] for results in per_shard])
+            except PipelineError:
+                self._failed = True
+                self.close()
+                raise
+        timeout = self._round_timeout(windows)
+        per_shard: "list[list | None]" = [None] * len(shards)
+        failed: dict[int, str] = {}
+        for index, shard in enumerate(shards):  # dispatch to all live...
+            if index in self._lost:
+                continue
+            try:
+                self._ipc.ring_broadcasts += shard.request(
+                    windows, observations
+                )
+            except PipelineError:
+                failed[index] = "crash"
+        for index, shard in enumerate(shards):  # ...then sync each.
+            if index in self._lost or index in failed:
+                continue
+            try:
+                raw = shard.collect(timeout)
+            except ShardTimeoutError:
+                self._ipc.timeouts += 1
+                failed[index] = "timeout"
+                continue
+            except PipelineError:
+                failed[index] = "crash"
+                continue
+            try:
+                # Frames are decoded (copied out of the shared rings)
+                # here, before any next round could reset the ring
+                # cursors underneath the descriptors.
+                per_shard[index] = [
+                    self._decode_slot_payload(shard, result)
+                    for result in raw
+                ]
+            except Exception:  # noqa: BLE001 - any decode failure
+                failed[index] = "corrupt"
+        for index in sorted(failed):
+            per_shard[index] = self._recover_shard(
+                index, failed[index], windows, observations, timeout
+            )
+        if all(results is None for results in per_shard):
+            # Unreachable through _handle_shard_loss (it raises on the
+            # last survivor), kept as a loud guard against merging
+            # nothing at all.
+            self._fail_round("every worker shard was lost in one round")
+        return per_shard
+
+    def _recover_shard(
+        self,
+        index: int,
+        reason: str,
+        windows: int,
+        observations: "list | None",
+        timeout: float | None,
+    ) -> "list | None":
+        """Respawn-and-replay one failed shard, bounded by the budget.
+
+        Each attempt reaps the dead process, spawns a replacement from
+        the same :class:`ShardPlan`, fast-forwards it through every
+        completed window (:meth:`_replay` — deterministic, so the
+        replacement's state is bit-identical to the lost shard's), and
+        re-runs the failed round. Attempts back off exponentially.
+        Returns the round's decoded slot results, or ``None`` when the
+        budget is exhausted and the degrade policy drops the shard.
+        """
+        while self._restart_counts[index] < self._config.max_shard_restarts:
+            attempt = self._restart_counts[index]
+            self._restart_counts[index] += 1
+            self._ipc.restarts += 1
+            time.sleep(min(2.0, self._backoff_seconds * (2 ** attempt)))
+            # Disarm the whole failed round's faults for this shard:
+            # the fault already "served" its window, and neither replay
+            # nor the retry may re-detonate it.
+            self._armed_from[index] = self._windows_run + windows
+            if reason == "corrupt":
+                # A corrupt frame means the shard's ring (or its codec
+                # stream) can no longer be trusted: degrade this shard
+                # to the pipe codec for good — a poisoned ring must
+                # never poison another round.
+                self._pipe_degraded.add(index)
+            shard = self._respawn(index)
+            try:
+                self._replay(shard)
+                self._ipc.ring_broadcasts += shard.request(
+                    windows, observations
+                )
+                raw = shard.collect(timeout)
+                return [
+                    self._decode_slot_payload(shard, result)
+                    for result in raw
+                ]
+            except ShardTimeoutError:
+                self._ipc.timeouts += 1
+                reason = "timeout"
+            except PipelineError:
+                reason = "crash"
+            except Exception:  # noqa: BLE001 - any decode failure
+                reason = "corrupt"
+        return self._handle_shard_loss(index, reason)
+
+    def _respawn(self, index: int) -> _ProcessShard:
+        """Replace one failed shard process from its original plan."""
+        shards = self._shards
+        assert shards is not None
+        shards[index].reap()
+        segment = None
+        if (
+            self._shard_transport == "shm"
+            and index not in self._pipe_degraded
+        ):
+            # A fresh segment, never the old one: the dead shard may
+            # have left the ring mid-write, and descriptors must only
+            # ever resolve against bytes their own process wrote.
+            segment = shm.ShardSegment.create(ring_bytes=self._ring_bytes)
+        shard = _ProcessShard(
+            self._context, self._plans[index], self._config,
+            self._generators, self._scenario, segment=segment,
+            armed_faults=self._armed_faults(index),
+        )
+        shards[index] = shard
+        return shard
+
+    def _replay(self, shard: _ProcessShard) -> None:
+        """Fast-forward a fresh shard through every completed window.
+
+        A shard is a pure function of its plan and its request tape, so
+        one batched request over the completed slots — rebroadcasting
+        the recorded per-window observations on adaptive runs — leaves
+        the replacement's window clock, rng streams and controller
+        state bit-identical to the lost shard's at the failed round.
+        The replayed results are drained and discarded (the parent
+        already merged those windows).
+        """
+        if self._windows_run == 0:
+            return
+        observations = None
+        if self._adaptive:
+            observations = list(self._observation_log[: self._windows_run])
+        shard.request(self._windows_run, observations)
+        shard.collect(self._round_timeout(self._windows_run))
+        self._ipc.replayed_windows += self._windows_run
+
+    def _handle_shard_loss(self, index: int, reason: str) -> None:
+        """Apply ``on_shard_loss`` to a shard out of restart budget."""
+        budget = self._config.max_shard_restarts
+        shards = self._shards
+        assert shards is not None
+        shards[index].reap()
+        if self._config.on_shard_loss != "degrade":
+            self._fail_round(
+                f"worker shard {index} lost ({reason}) after {budget} "
+                f"restart(s); aborting under on_shard_loss='abort' — set "
+                f"on_shard_loss='degrade' to continue on the surviving "
+                f"shards with loss accounting"
+            )
+        self._lost.add(index)
+        if len(self._lost) == len(self._plans):
+            self._fail_round(
+                f"worker shard {index} lost ({reason}) after {budget} "
+                f"restart(s) and no shards survive; nothing to degrade "
+                f"onto"
+            )
+        return None
+
+    def _fail_round(self, message: str) -> None:
+        """Poison the runner and raise: reap shards, refuse reuse."""
+        self._failed = True
+        self.close()
+        raise PipelineError(message)
 
     def _decode_slot_payload(
         self, shard: "_ProcessShard | _InlineShard", result: _SlotResult
@@ -741,9 +1127,18 @@ class ShardedEngineRunner:
     def _merge_slot(
         self, slot_results: "list[tuple[_SlotResult, list | None]]"
     ) -> WindowOutcome | None:
-        """Combine one window slot's per-shard results at the root."""
+        """Combine one window slot's per-shard results at the root.
+
+        ``slot_results`` covers the *surviving* shards only. Lost
+        shards (degrade policy) are accounted honestly rather than
+        silently absorbed: their steady-state expected items go into
+        ``items_dropped``, the estimate and its error bound come from
+        the surviving Theta alone, and ``shards_lost`` surfaces the
+        loss on the outcome.
+        """
         self._windows_run += 1
         self._ipc.windows += 1
+        lost_items = sum(self._expected_items[i] for i in self._lost)
         items_emitted = sum(result[0] for result, _ in slot_results)
         if items_emitted == 0:
             if self._adaptive:
@@ -776,8 +1171,11 @@ class ShardedEngineRunner:
             srs_sum=sum(result[2] for result, _ in slot_results),
             items_emitted=items_emitted,
             items_sampled=sum(result[3] for result, _ in slot_results),
-            items_dropped=sum(result[4] for result, _ in slot_results),
+            items_dropped=(
+                sum(result[4] for result, _ in slot_results) + lost_items
+            ),
             sample_budget=sum(result[6] for result, _ in slot_results),
+            shards_lost=len(self._lost),
         )
 
     def run_window(self) -> WindowOutcome | None:

@@ -264,8 +264,24 @@ class ShardSegment:
         Callers must release the view (or let it fall out of scope)
         before the segment is released — the codec's decode copies the
         columns out, so nothing outlives the view.
+
+        A malformed descriptor — wrong arity, non-integer fields, a
+        stale round sequence, or out-of-ring bounds — always raises
+        :class:`PipelineError`, never an unclassified ``TypeError``:
+        the shard supervisor keys its corrupted-descriptor recovery
+        (replace the shard, degrade it to the pipe codec) on that
+        diagnosis.
         """
-        sequence, offset, length = descriptor
+        try:
+            sequence, offset, length = descriptor
+        except (TypeError, ValueError):
+            raise PipelineError(
+                f"malformed shared-memory descriptor {descriptor!r}"
+            ) from None
+        if not all(isinstance(f, int) for f in (sequence, offset, length)):
+            raise PipelineError(
+                f"malformed shared-memory descriptor {descriptor!r}"
+            )
         if sequence != self._sequence:
             raise PipelineError(
                 f"shared-memory frame from round {sequence} read in round "
@@ -297,8 +313,20 @@ class ShardSegment:
         return (_CTRL_TAG, self._sequence, start, len(data))
 
     def unstash(self, frame: tuple[str, int, int, int]):
-        """Load a control value stashed by the parent (shard side)."""
-        tag, sequence, offset, length = frame
+        """Load a control value stashed by the parent (shard side).
+
+        Like :meth:`read_frame`, malformed frames raise
+        :class:`PipelineError` rather than ``TypeError`` so the
+        failure crosses the pipe as a diagnosable shard error.
+        """
+        try:
+            tag, sequence, offset, length = frame
+        except (TypeError, ValueError):
+            raise PipelineError(
+                f"malformed control frame {frame!r}"
+            ) from None
+        if not all(isinstance(f, int) for f in (sequence, offset, length)):
+            raise PipelineError(f"malformed control frame {frame!r}")
         if tag != _CTRL_TAG or sequence != self._sequence:
             raise PipelineError(
                 f"control frame {frame!r} does not belong to round "

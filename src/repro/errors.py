@@ -81,5 +81,13 @@ class PipelineError(ReproError):
     """The assembled system pipeline was driven incorrectly."""
 
 
+class ShardTimeoutError(PipelineError):
+    """A worker shard missed its watchdog deadline (hung or stalled)."""
+
+
+class InjectedFaultError(PipelineError):
+    """An injected fault fired inside a worker shard (test harness)."""
+
+
 class WorkloadError(ReproError):
     """A workload generator received invalid parameters."""

@@ -61,6 +61,16 @@ class ExperimentScale:
         shard_transport: Shard IPC plane for sharded statistical runs
             (``"auto"`` / ``"pipe"`` / ``"shm"``; see
             :attr:`repro.system.config.PipelineConfig.shard_transport`).
+        shard_timeout: Watchdog deadline in seconds per window slot
+            for sharded statistical runs (``None`` disables; see
+            :attr:`repro.system.config.PipelineConfig.shard_timeout`).
+        on_shard_loss: Policy once a shard exhausts its restart budget
+            (``"abort"`` / ``"degrade"``; see
+            :attr:`repro.system.config.PipelineConfig.on_shard_loss`).
+        inject_faults: ``kind@shard:window`` fault specs for the
+            supervision harness (parsed into a
+            :class:`~repro.engine.faults.FaultPlan`; empty injects
+            nothing). Requires ``workers > 1``.
     """
 
     rate_scale: float = 1.0
@@ -72,6 +82,9 @@ class ExperimentScale:
     workers: int = 1
     budget_controller: str = "static"
     shard_transport: str = "auto"
+    shard_timeout: float | None = None
+    on_shard_loss: str = "abort"
+    inject_faults: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.rate_scale <= 0:
@@ -144,14 +157,20 @@ def base_config(fraction: float, scale: ExperimentScale,
     """A pipeline config with experiment-standard defaults.
 
     Threads the scale's seed, sampling backend, transport, data plane,
-    worker-shard count, budget controller and shard transport into the
-    config, so ``python -m repro figures --backend/--transport/
-    --data-plane/--workers/--budget-controller/--shard-transport``
+    worker-shard count, budget controller, shard transport and shard
+    supervision knobs (watchdog timeout, loss policy, injected faults)
+    into the config, so ``python -m repro figures --backend/
+    --transport/--data-plane/--workers/--budget-controller/
+    --shard-transport/--shard-timeout/--on-shard-loss/--inject-fault``
     reach every figure runner through one seam.
     """
     kwargs: dict[str, object] = {}
     if placement is not None:
         kwargs["placement"] = placement
+    if scale.inject_faults:
+        from repro.engine.faults import FaultPlan
+
+        kwargs["fault_plan"] = FaultPlan.parse(scale.inject_faults)
     return PipelineConfig(
         sampling_fraction=fraction,
         window_seconds=window_seconds,
@@ -163,5 +182,7 @@ def base_config(fraction: float, scale: ExperimentScale,
         workers=scale.workers,
         budget_controller=scale.budget_controller,
         shard_transport=scale.shard_transport,
+        shard_timeout=scale.shard_timeout,
+        on_shard_loss=scale.on_shard_loss,
         **kwargs,
     )

@@ -15,6 +15,7 @@ __all__ = [
     "ExecutionMode",
     "BUDGET_CONTROLLERS",
     "DATA_PLANES",
+    "SHARD_LOSS_POLICIES",
     "SHARD_TRANSPORTS",
     "TRANSPORTS",
     "TRANSPORT_AUTO",
@@ -65,6 +66,16 @@ SHARD_TRANSPORTS = ("auto", "pipe", "shm")
 #: controller run between windows) or ``"variance_aware"`` (Neyman
 #: reallocation of a fixed budget toward high-variance sub-streams).
 BUDGET_CONTROLLERS = ("static", "adaptive_fraction", "variance_aware")
+
+#: Valid values of :attr:`PipelineConfig.on_shard_loss` — what the
+#: shard supervisor does once a worker shard has exhausted its
+#: ``max_shard_restarts`` respawn budget: ``"abort"`` (the default)
+#: fails the run loudly; ``"degrade"`` continues on the surviving
+#: shards with honest accounting (the lost shard's expected items are
+#: counted into ``items_dropped``, bounds are recomputed from the
+#: surviving Theta, and ``WindowOutcome.shards_lost`` surfaces the
+#: loss per window).
+SHARD_LOSS_POLICIES = ("abort", "degrade")
 
 
 @dataclass(frozen=True)
@@ -132,6 +143,30 @@ class PipelineConfig:
             (same fallback); ``"pipe"`` forces the codec frames through
             the Pipe. Bit-identical results on every transport;
             irrelevant at ``workers == 1``.
+        shard_timeout: Watchdog deadline, in seconds per window slot,
+            for collecting a worker shard's round (``None``, the
+            default, blocks forever — the seed behaviour). With a
+            deadline set, a hung or silently-dead shard raises a
+            diagnosable :class:`~repro.errors.ShardTimeoutError`
+            within ``shard_timeout * slots_in_round`` seconds and the
+            supervisor treats it like a crash (respawn-and-replay).
+        max_shard_restarts: How many times the supervisor may respawn
+            any one worker shard before declaring it lost (``0``
+            disables recovery entirely — the seed's fail-stop
+            behaviour). Respawned shards replay their deterministic
+            history, so a recovered run is bit-identical to an
+            unfaulted one.
+        on_shard_loss: One of :data:`SHARD_LOSS_POLICIES` — what
+            happens when a shard exhausts its restart budget:
+            ``"abort"`` (default) fails the run loudly; ``"degrade"``
+            continues on the surviving shards with per-window loss
+            accounting.
+        fault_plan: A :class:`~repro.engine.faults.FaultPlan` of
+            deterministic injected faults for the supervision test
+            harness (``None``, the default, injects nothing). Requires
+            ``workers > 1`` process execution — faults kill shard
+            *processes*, so the runner rejects plans on inline and
+            single-worker runs.
     """
 
     sampling_fraction: float = 0.1
@@ -150,6 +185,10 @@ class PipelineConfig:
     workers: int = 1
     budget_controller: str = "static"
     shard_transport: str = "auto"
+    shard_timeout: float | None = None
+    max_shard_restarts: int = 2
+    on_shard_loss: str = "abort"
+    fault_plan: object | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.sampling_fraction <= 1.0:
@@ -197,6 +236,36 @@ class PipelineConfig:
                 f"shard_transport must be one of {SHARD_TRANSPORTS}, "
                 f"got {self.shard_transport!r}"
             )
+        if self.shard_timeout is not None and not self.shard_timeout > 0:
+            raise ConfigurationError(
+                f"shard_timeout must be positive (or None to disable "
+                f"the watchdog), got {self.shard_timeout!r}"
+            )
+        if (
+            not isinstance(self.max_shard_restarts, int)
+            or self.max_shard_restarts < 0
+        ):
+            raise ConfigurationError(
+                f"max_shard_restarts must be an integer >= 0, got "
+                f"{self.max_shard_restarts!r}"
+            )
+        if self.on_shard_loss not in SHARD_LOSS_POLICIES:
+            raise ConfigurationError(
+                f"on_shard_loss must be one of {SHARD_LOSS_POLICIES}, "
+                f"got {self.on_shard_loss!r}"
+            )
+        if self.fault_plan is not None:
+            # Imported lazily: engine.faults sits above this module in
+            # the layering (it only needs repro.errors), but config is
+            # imported everywhere and must not pull the engine in at
+            # module load.
+            from repro.engine.faults import FaultPlan
+
+            if not isinstance(self.fault_plan, FaultPlan):
+                raise ConfigurationError(
+                    f"fault_plan must be a repro.engine.faults.FaultPlan "
+                    f"(or None), got {type(self.fault_plan).__name__}"
+                )
 
     @property
     def resolved_backend(self) -> str:
@@ -244,3 +313,19 @@ class PipelineConfig:
     def with_shard_transport(self, shard_transport: str) -> "PipelineConfig":
         """A copy of this config on a different shard transport."""
         return replace(self, shard_transport=shard_transport)
+
+    def with_shard_timeout(self, shard_timeout: float | None) -> "PipelineConfig":
+        """A copy of this config with a different watchdog deadline."""
+        return replace(self, shard_timeout=shard_timeout)
+
+    def with_max_shard_restarts(self, restarts: int) -> "PipelineConfig":
+        """A copy of this config with a different respawn budget."""
+        return replace(self, max_shard_restarts=restarts)
+
+    def with_on_shard_loss(self, policy: str) -> "PipelineConfig":
+        """A copy of this config under a different shard-loss policy."""
+        return replace(self, on_shard_loss=policy)
+
+    def with_fault_plan(self, fault_plan) -> "PipelineConfig":
+        """A copy of this config with injected faults (test harness)."""
+        return replace(self, fault_plan=fault_plan)

@@ -62,6 +62,13 @@ class ScenarioWindow:
         budget: The root's sample budget in effect for the window —
             the budget controller's live decision, constant under
             ``static``, a visible trace under adaptive controllers.
+        shard_restarts: Worker shards the supervisor respawned while
+            this window's round ran (0 in healthy and single-worker
+            runs) — execution-substrate faults surfaced alongside the
+            workload faults the scenario itself injects.
+        shards_lost: Worker shards missing from this window's merge
+            under ``on_shard_loss="degrade"`` (their expected items
+            are already counted into ``items_dropped``).
     """
 
     window: int
@@ -78,6 +85,8 @@ class ScenarioWindow:
     srs_loss: float
     budget_utilisation: float
     budget: int = 0
+    shard_restarts: int = 0
+    shards_lost: int = 0
 
     @property
     def bound_pct(self) -> float:
@@ -142,7 +151,7 @@ class ScenarioOutcome:
             [
                 "window", "load", "offline", "dropped", "emitted",
                 "sampled", "budget", "budget use", "loss", "bound",
-                "in bound", "srs loss",
+                "in bound", "srs loss", "restarts", "lost",
             ],
         )
         for w in self.windows:
@@ -159,6 +168,8 @@ class ScenarioOutcome:
                 format_percent(w.bound_pct, 3),
                 "yes" if w.within_bound else "NO",
                 format_percent(w.srs_loss, 3),
+                w.shard_restarts,
+                w.shards_lost,
             )
         return table.render()
 
@@ -219,6 +230,9 @@ class ScenarioRunner:
         #: Window slots driven so far — repeated :meth:`run` calls
         #: continue the timeline where the previous call stopped.
         self._slots_run = 0
+        #: Supervisor restarts seen so far (sharded runs): the delta
+        #: per window becomes the trace's "restarts" column.
+        self._restarts_seen = 0
         # All engine wiring (worker-shard dispatch, transport choice,
         # scenario binding) lives in StatisticalRunner; this facade
         # only adds the timeline annotation and quality metrics.
@@ -269,6 +283,15 @@ class ScenarioRunner:
             )
         return outcome
 
+    def _window_restarts(self) -> int:
+        """Supervisor respawns since the previous window (sharded runs)."""
+        stats = getattr(self._runner.engine, "ipc_stats", None)
+        if stats is None:  # single-worker runs have no supervisor
+            return 0
+        delta = stats.restarts - self._restarts_seen
+        self._restarts_seen = stats.restarts
+        return delta
+
     def _annotate(self, window: WindowOutcome, state) -> ScenarioWindow:
         """One engine window + its timeline state as a metrics row."""
         return ScenarioWindow(
@@ -289,6 +312,8 @@ class ScenarioRunner:
                 if self._reference_budget > 0 else 0.0
             ),
             budget=window.sample_budget,
+            shard_restarts=self._window_restarts(),
+            shards_lost=window.shards_lost,
         )
 
     def close(self) -> None:

@@ -36,6 +36,7 @@ from repro.engine.runner import (
 )
 from repro.engine.sharding import ShardedEngineRunner
 from repro.engine.transport import make_statistical_transport
+from repro.errors import ConfigurationError
 from repro.scenarios.engine import ScenarioEngine
 from repro.scenarios.scenario import Scenario
 from repro.system.config import PipelineConfig
@@ -66,6 +67,12 @@ class StatisticalRunner:
     ) -> None:
         self._config = config
         self._engine: EngineRunner | ShardedEngineRunner
+        if config.workers == 1 and config.fault_plan is not None:
+            raise ConfigurationError(
+                "fault injection targets worker shard processes; a "
+                "single-worker run executes in this process and has no "
+                "shard to kill — set workers > 1 to use a fault_plan"
+            )
         if config.workers > 1:
             self._engine = ShardedEngineRunner(
                 config, schedule, generators, scenario=scenario

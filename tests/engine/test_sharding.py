@@ -218,9 +218,13 @@ class TestFacadeAndValidation:
 
 class TestShardFailure:
     def test_failed_round_reaps_shards_and_refuses_reuse(self):
-        """A dead shard surfaces as PipelineError and poisons the
-        runner — no raw pipe errors, no silent restart from window 0."""
-        runner = ShardedEngineRunner(config_for(workers=2), SCHEDULE, GENS)
+        """With recovery disabled a dead shard surfaces as
+        PipelineError and poisons the runner — no raw pipe errors, no
+        silent restart from window 0."""
+        runner = ShardedEngineRunner(
+            config_for(workers=2).with_max_shard_restarts(0),
+            SCHEDULE, GENS,
+        )
         try:
             runner.run(1)
             for shard in runner._ensure_shards():
@@ -230,5 +234,24 @@ class TestShardFailure:
                 runner.run(1)
             with pytest.raises(PipelineError, match="fresh runner"):
                 runner.run(1)
+        finally:
+            runner.close()
+
+    def test_default_supervision_recovers_terminated_shards(self):
+        """Under the default restart budget the same external kill is
+        recovered transparently — and bit-identically."""
+        with ShardedEngineRunner(
+            config_for(workers=2), SCHEDULE, GENS
+        ) as healthy:
+            expected = [outcome_tuple(w) for w in healthy.run(2).windows]
+        runner = ShardedEngineRunner(config_for(workers=2), SCHEDULE, GENS)
+        try:
+            first = [outcome_tuple(w) for w in runner.run(1).windows]
+            for shard in runner._ensure_shards():
+                shard._process.terminate()
+                shard._process.join(timeout=5.0)
+            second = [outcome_tuple(w) for w in runner.run(1).windows]
+            assert first + second == expected
+            assert runner.ipc_stats.restarts == 2
         finally:
             runner.close()

@@ -225,7 +225,8 @@ class TestLifecycle:
 
     def test_mid_run_shard_failure_unlinks_every_segment(self):
         runner = ShardedEngineRunner(
-            config_for(transport="shm"), SCHEDULE, GENS
+            config_for(transport="shm").with_max_shard_restarts(0),
+            SCHEDULE, GENS,
         )
         try:
             runner.run(1)
@@ -238,6 +239,27 @@ class TestLifecycle:
         finally:
             runner.close()
         self.assert_unlinked(names)
+
+    def test_recovery_unlinks_the_dead_shards_segments_too(self):
+        """Respawn replaces segments; neither the dead shard's old
+        segment nor the replacement's survives close()."""
+        runner = ShardedEngineRunner(
+            config_for(transport="shm"), SCHEDULE, GENS
+        )
+        try:
+            runner.run(1)
+            before = runner.shm_segment_names
+            for shard in runner._ensure_shards():
+                shard._process.terminate()
+                shard._process.join(timeout=5.0)
+            runner.run(1)
+            after = runner.shm_segment_names
+            assert runner.ipc_stats.restarts == 2
+            assert set(before).isdisjoint(after)
+            self.assert_unlinked(before)
+        finally:
+            runner.close()
+        self.assert_unlinked(after)
 
 
 @shm_capable

@@ -182,6 +182,76 @@ class TestShardTransport:
         assert "quality over time" in capsys.readouterr().out
 
 
+class TestShardSupervision:
+    def test_defaults(self):
+        for argv in (["figures"], ["scenarios", "run", "drift"]):
+            args = build_parser().parse_args(argv)
+            assert args.shard_timeout is None
+            assert args.on_shard_loss == "abort"
+            assert args.inject_fault is None
+
+    def test_selection(self):
+        args = build_parser().parse_args(
+            ["figures", "fig5", "--shard-timeout", "2.5",
+             "--on-shard-loss", "degrade",
+             "--inject-fault", "crash@0:1", "--inject-fault", "hang@1:2"]
+        )
+        assert args.shard_timeout == 2.5
+        assert args.on_shard_loss == "degrade"
+        assert args.inject_fault == ["crash@0:1", "hang@1:2"]
+
+    def test_rejects_unknown_loss_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["figures", "--on-shard-loss", "panic"]
+            )
+
+    def test_figure_run_recovers_from_an_injected_crash(self, capsys):
+        """The fault fires, the supervisor respawns, and the figure
+        comes out exactly as without the fault."""
+        assert main(
+            ["figures", "fig5", "--scale", "quick", "--workers", "2",
+             "--backend", "python"]
+        ) == 0
+        healthy_out = capsys.readouterr().out
+        assert main(
+            ["figures", "fig5", "--scale", "quick", "--workers", "2",
+             "--backend", "python", "--inject-fault", "crash@0:1"]
+        ) == 0
+        faulted_out = capsys.readouterr().out
+        assert "Fig. 5" in faulted_out
+        assert faulted_out == healthy_out
+
+    def test_scenario_run_shows_the_restart(self, capsys):
+        assert main(
+            ["scenarios", "run", "flash-crowd", "--scale", "quick",
+             "--windows", "3", "--workers", "2", "--backend", "python",
+             "--inject-fault", "raise@1:1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "restarts" in out and "lost" in out
+
+    def test_malformed_fault_spec_reports_error(self, capsys):
+        assert main(
+            ["figures", "fig5", "--workers", "2",
+             "--inject-fault", "crash-at-zero"]
+        ) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_fault_without_workers_reports_error(self, capsys):
+        assert main(
+            ["figures", "fig5", "--inject-fault", "crash@0:1"]
+        ) == 2
+        assert "workers" in capsys.readouterr().err
+
+    def test_hang_fault_without_timeout_reports_error(self, capsys):
+        assert main(
+            ["figures", "fig5", "--workers", "2",
+             "--inject-fault", "hang@0:0"]
+        ) == 2
+        assert "shard-timeout" in capsys.readouterr().err
+
+
 class TestScenarios:
     def test_parser_requires_subcommand(self):
         with pytest.raises(SystemExit):
